@@ -1,0 +1,222 @@
+//! Empirical Mode Decomposition (Huang et al. [5]).
+//!
+//! The classic sifting procedure: at each step the mean of the upper and
+//! lower cubic-spline envelopes (through local maxima/minima) is
+//! subtracted until the candidate satisfies a standard-deviation stopping
+//! criterion, yielding one Intrinsic Mode Function (IMF); the process
+//! recurses on the residual. IMFs are grouped into sources by harmonic
+//! affinity (see [`crate::assignment`]).
+
+use crate::assignment::assign_components;
+use crate::{BaselineError, SeparationContext, Separator};
+use dhf_dsp::interp::CubicSpline;
+use dhf_dsp::peaks::{local_maxima, local_minima};
+
+/// EMD separator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Emd {
+    /// Maximum number of IMFs extracted before stopping.
+    pub max_imfs: usize,
+    /// Maximum sifting iterations per IMF.
+    pub max_sifts: usize,
+    /// Cauchy-style standard-deviation stopping threshold (Huang's 0.2–0.3).
+    pub sd_threshold: f64,
+    /// Harmonics used for component-to-source assignment.
+    pub assign_harmonics: usize,
+    /// Bandwidth (Hz) for assignment affinity.
+    pub assign_bw_hz: f64,
+    /// Minimum affinity for a component to be kept.
+    pub affinity_floor: f64,
+}
+
+impl Default for Emd {
+    fn default() -> Self {
+        Emd {
+            max_imfs: 10,
+            max_sifts: 12,
+            sd_threshold: 0.25,
+            assign_harmonics: 4,
+            assign_bw_hz: 0.35,
+            affinity_floor: 0.25,
+        }
+    }
+}
+
+impl Emd {
+    /// Decomposes a signal into IMFs plus a final residual (last entry).
+    ///
+    /// Public so tests and notebooks can inspect the raw decomposition.
+    pub fn decompose(&self, signal: &[f64]) -> Vec<Vec<f64>> {
+        let mut imfs = Vec::new();
+        let mut residual = signal.to_vec();
+        for _ in 0..self.max_imfs {
+            if !has_enough_extrema(&residual) {
+                break;
+            }
+            let imf = self.sift(&residual);
+            for (r, &v) in residual.iter_mut().zip(&imf) {
+                *r -= v;
+            }
+            imfs.push(imf);
+        }
+        imfs.push(residual);
+        imfs
+    }
+
+    /// One sifting run producing a single IMF candidate.
+    fn sift(&self, x: &[f64]) -> Vec<f64> {
+        let mut h = x.to_vec();
+        for _ in 0..self.max_sifts {
+            let Some((upper, lower)) = envelopes(&h) else { break };
+            let mut sd_num = 0.0;
+            let mut sd_den = 0.0;
+            for i in 0..h.len() {
+                let m = 0.5 * (upper[i] + lower[i]);
+                let new = h[i] - m;
+                sd_num += m * m;
+                sd_den += h[i] * h[i] + 1e-12;
+                h[i] = new;
+            }
+            if sd_num / sd_den < self.sd_threshold * self.sd_threshold {
+                break;
+            }
+        }
+        h
+    }
+}
+
+/// True when the signal still has enough oscillation to sift.
+fn has_enough_extrema(x: &[f64]) -> bool {
+    local_maxima(x).len() >= 2 && local_minima(x).len() >= 2
+}
+
+/// Upper/lower cubic-spline envelopes through the extrema, with the
+/// endpoints appended as knots to control boundary behaviour.
+fn envelopes(x: &[f64]) -> Option<(Vec<f64>, Vec<f64>)> {
+    let n = x.len();
+    let maxima = local_maxima(x);
+    let minima = local_minima(x);
+    if maxima.len() < 2 || minima.len() < 2 {
+        return None;
+    }
+    let build = |idx: &[usize]| -> Option<Vec<f64>> {
+        let mut xs: Vec<f64> = Vec::with_capacity(idx.len() + 2);
+        let mut ys: Vec<f64> = Vec::with_capacity(idx.len() + 2);
+        if idx[0] != 0 {
+            xs.push(0.0);
+            ys.push(x[0]);
+        }
+        for &i in idx {
+            xs.push(i as f64);
+            ys.push(x[i]);
+        }
+        if *idx.last().unwrap() != n - 1 {
+            xs.push((n - 1) as f64);
+            ys.push(x[n - 1]);
+        }
+        let spline = CubicSpline::new(&xs, &ys).ok()?;
+        Some((0..n).map(|i| spline.eval(i as f64)).collect())
+    };
+    Some((build(&maxima)?, build(&minima)?))
+}
+
+impl Separator for Emd {
+    fn name(&self) -> &'static str {
+        "EMD"
+    }
+
+    fn separate(
+        &self,
+        mixed: &[f64],
+        ctx: &SeparationContext<'_>,
+    ) -> Result<Vec<Vec<f64>>, BaselineError> {
+        ctx.validate(mixed.len())?;
+        if mixed.len() < 16 {
+            return Err(BaselineError::InputTooShort { needed: 16, got: mixed.len() });
+        }
+        let imfs = self.decompose(mixed);
+        let f0s: Vec<f64> = (0..ctx.num_sources()).map(|i| ctx.mean_f0(i)).collect();
+        Ok(assign_components(
+            &imfs,
+            ctx.fs,
+            &f0s,
+            self.assign_harmonics,
+            self.assign_bw_hz,
+            self.affinity_floor,
+            mixed.len(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhf_metrics::sdr_db;
+
+    fn tone(fs: f64, f: f64, a: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| a * (std::f64::consts::TAU * f * i as f64 / fs).sin()).collect()
+    }
+
+    #[test]
+    fn imfs_sum_to_signal() {
+        let fs = 100.0;
+        let x: Vec<f64> = (0..1500)
+            .map(|i| {
+                let t = i as f64 / fs;
+                (std::f64::consts::TAU * 1.1 * t).sin()
+                    + 0.4 * (std::f64::consts::TAU * 4.3 * t).sin()
+            })
+            .collect();
+        let imfs = Emd::default().decompose(&x);
+        assert!(imfs.len() >= 2);
+        for i in 0..x.len() {
+            let sum: f64 = imfs.iter().map(|imf| imf[i]).sum();
+            assert!((sum - x[i]).abs() < 1e-9, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn first_imf_carries_the_fast_oscillation() {
+        let fs = 100.0;
+        let n = 2000;
+        let fast = tone(fs, 6.0, 0.7, n);
+        let slow = tone(fs, 0.7, 1.0, n);
+        let mix: Vec<f64> = fast.iter().zip(&slow).map(|(a, b)| a + b).collect();
+        let imfs = Emd::default().decompose(&mix);
+        // IMF 0 correlates far better with the fast component.
+        let sdr_fast = sdr_db(&fast[200..1800], &imfs[0][200..1800]);
+        assert!(sdr_fast > 5.0, "first IMF vs fast tone: {sdr_fast} dB");
+    }
+
+    #[test]
+    fn separates_widely_spaced_tones() {
+        let fs = 100.0;
+        let n = 3000;
+        let s1 = tone(fs, 0.8, 1.0, n);
+        let s2 = tone(fs, 5.0, 0.6, n);
+        let mix: Vec<f64> = s1.iter().zip(&s2).map(|(a, b)| a + b).collect();
+        let tracks = vec![vec![0.8; n], vec![5.0; n]];
+        let ctx = SeparationContext { fs, f0_tracks: &tracks };
+        let est = Emd::default().separate(&mix, &ctx).unwrap();
+        assert!(sdr_db(&s1[300..2700], &est[0][300..2700]) > 5.0);
+        assert!(sdr_db(&s2[300..2700], &est[1][300..2700]) > 5.0);
+    }
+
+    #[test]
+    fn monotone_signal_yields_only_residual() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64 * 0.1).collect();
+        let imfs = Emd::default().decompose(&x);
+        assert_eq!(imfs.len(), 1); // residual only
+        assert_eq!(imfs[0], x);
+    }
+
+    #[test]
+    fn rejects_tiny_input() {
+        let tracks = vec![vec![1.0; 4]];
+        let ctx = SeparationContext { fs: 10.0, f0_tracks: &tracks };
+        assert!(matches!(
+            Emd::default().separate(&[1.0, 2.0, 1.0, 0.0], &ctx),
+            Err(BaselineError::InputTooShort { .. })
+        ));
+    }
+}

@@ -1,0 +1,251 @@
+//! Non-negative Matrix Factorization (Lee & Seung [9]) of the magnitude
+//! spectrogram, `V ≈ W·H`, with Euclidean multiplicative updates.
+//!
+//! Basis columns are allocated per source harmonic and initialized as
+//! Gaussian comb teeth at the source's harmonic frequencies (the shared
+//! frequency prior); sources are reconstructed by Wiener-style soft
+//! masking of the complex STFT with their bases' contribution.
+
+use crate::{BaselineError, SeparationContext, Separator};
+use dhf_dsp::stft::{istft, stft, StftConfig};
+
+/// NMF separator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Nmf {
+    /// STFT window length in seconds.
+    pub window_s: f64,
+    /// STFT hop in seconds.
+    pub hop_s: f64,
+    /// Basis vectors per source (one per modelled harmonic).
+    pub components_per_source: usize,
+    /// Multiplicative-update iterations.
+    pub iterations: usize,
+    /// Width (bins) of the Gaussian comb teeth used for initialization.
+    pub init_width_bins: f64,
+}
+
+impl Default for Nmf {
+    fn default() -> Self {
+        Nmf {
+            window_s: 5.12,
+            hop_s: 1.28,
+            components_per_source: 3,
+            iterations: 120,
+            init_width_bins: 2.0,
+        }
+    }
+}
+
+impl Separator for Nmf {
+    fn name(&self) -> &'static str {
+        "NMF"
+    }
+
+    fn separate(
+        &self,
+        mixed: &[f64],
+        ctx: &SeparationContext<'_>,
+    ) -> Result<Vec<Vec<f64>>, BaselineError> {
+        ctx.validate(mixed.len())?;
+        let win = (self.window_s * ctx.fs).round() as usize;
+        let hop = (self.hop_s * ctx.fs).round() as usize;
+        if mixed.len() < win {
+            return Err(BaselineError::InputTooShort { needed: win, got: mixed.len() });
+        }
+        let cfg = StftConfig::new(win, hop, ctx.fs)?;
+        let spec = stft(mixed, &cfg)?;
+        let bins = spec.bins();
+        let frames = spec.frames();
+        let v = spec.magnitude(); // bin-major [bins × frames]
+
+        let ns = ctx.num_sources();
+        let k = ns * self.components_per_source;
+        // W: bins × k (bin-major), H: k × frames.
+        let mut w = vec![1e-3f64; bins * k];
+        let mut h = vec![1.0f64; k * frames];
+        // Harmonic comb initialization.
+        for si in 0..ns {
+            let f0 = ctx.mean_f0(si);
+            for c in 0..self.components_per_source {
+                let col = si * self.components_per_source + c;
+                let centre = (c + 1) as f64 * f0 / cfg.hz_per_bin();
+                for b in 0..bins {
+                    let d = b as f64 - centre;
+                    w[b * k + col] +=
+                        (-d * d / (2.0 * self.init_width_bins * self.init_width_bins)).exp();
+                }
+            }
+        }
+        // Deterministic tiny perturbation of H to break symmetry.
+        for (i, hv) in h.iter_mut().enumerate() {
+            *hv += 1e-3 * ((i * 2_654_435_761) % 97) as f64 / 97.0;
+        }
+
+        let eps = 1e-9;
+        let mut wh = vec![0.0f64; bins * frames];
+        for _ in 0..self.iterations {
+            // wh = W·H
+            matmul(&w, &h, &mut wh, bins, k, frames);
+            // H ← H ∘ (WᵀV)/(WᵀWH)
+            let mut wt_v = vec![0.0f64; k * frames];
+            let mut wt_wh = vec![0.0f64; k * frames];
+            matmul_t_left(&w, &v, &mut wt_v, bins, k, frames);
+            matmul_t_left(&w, &wh, &mut wt_wh, bins, k, frames);
+            for i in 0..h.len() {
+                h[i] *= wt_v[i] / (wt_wh[i] + eps);
+            }
+            // W ← W ∘ (VHᵀ)/(WHHᵀ)
+            matmul(&w, &h, &mut wh, bins, k, frames);
+            let mut v_ht = vec![0.0f64; bins * k];
+            let mut wh_ht = vec![0.0f64; bins * k];
+            matmul_t_right(&v, &h, &mut v_ht, bins, k, frames);
+            matmul_t_right(&wh, &h, &mut wh_ht, bins, k, frames);
+            for i in 0..w.len() {
+                w[i] *= v_ht[i] / (wh_ht[i] + eps);
+            }
+        }
+        matmul(&w, &h, &mut wh, bins, k, frames);
+
+        // Wiener reconstruction per source.
+        let mut out = Vec::with_capacity(ns);
+        for si in 0..ns {
+            let cols = si * self.components_per_source..(si + 1) * self.components_per_source;
+            let mut mask = vec![0.0f64; bins * frames];
+            for b in 0..bins {
+                for m in 0..frames {
+                    let mut contrib = 0.0;
+                    for col in cols.clone() {
+                        contrib += w[b * k + col] * h[col * frames + m];
+                    }
+                    mask[b * frames + m] = contrib / (wh[b * frames + m] + eps);
+                }
+            }
+            let masked = spec.apply_mask(&mask);
+            out.push(istft(&masked));
+        }
+        Ok(out)
+    }
+}
+
+/// `out[bins×frames] = W[bins×k] · H[k×frames]` (all row-major).
+fn matmul(w: &[f64], h: &[f64], out: &mut [f64], bins: usize, k: usize, frames: usize) {
+    out.iter_mut().for_each(|v| *v = 0.0);
+    for b in 0..bins {
+        for c in 0..k {
+            let wv = w[b * k + c];
+            if wv == 0.0 {
+                continue;
+            }
+            let hrow = &h[c * frames..(c + 1) * frames];
+            let orow = &mut out[b * frames..(b + 1) * frames];
+            for (o, &hv) in orow.iter_mut().zip(hrow) {
+                *o += wv * hv;
+            }
+        }
+    }
+}
+
+/// `out[k×frames] = Wᵀ[k×bins] · V[bins×frames]`.
+fn matmul_t_left(w: &[f64], v: &[f64], out: &mut [f64], bins: usize, k: usize, frames: usize) {
+    out.iter_mut().for_each(|x| *x = 0.0);
+    for b in 0..bins {
+        for c in 0..k {
+            let wv = w[b * k + c];
+            if wv == 0.0 {
+                continue;
+            }
+            let vrow = &v[b * frames..(b + 1) * frames];
+            let orow = &mut out[c * frames..(c + 1) * frames];
+            for (o, &vv) in orow.iter_mut().zip(vrow) {
+                *o += wv * vv;
+            }
+        }
+    }
+}
+
+/// `out[bins×k] = V[bins×frames] · Hᵀ[frames×k]`.
+fn matmul_t_right(v: &[f64], h: &[f64], out: &mut [f64], bins: usize, k: usize, frames: usize) {
+    out.iter_mut().for_each(|x| *x = 0.0);
+    for b in 0..bins {
+        for c in 0..k {
+            let vrow = &v[b * frames..(b + 1) * frames];
+            let hrow = &h[c * frames..(c + 1) * frames];
+            let mut acc = 0.0;
+            for (&vv, &hv) in vrow.iter().zip(hrow) {
+                acc += vv * hv;
+            }
+            out[b * k + c] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhf_metrics::sdr_db;
+
+    #[test]
+    fn matmul_small_known_values() {
+        // W = [[1,2],[3,4],[5,6]] (3×2), H = [[1,0,2],[0,1,1]] (2×3)
+        let w = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let h = vec![1.0, 0.0, 2.0, 0.0, 1.0, 1.0];
+        let mut out = vec![0.0; 9];
+        matmul(&w, &h, &mut out, 3, 2, 3);
+        assert_eq!(out, vec![1.0, 2.0, 4.0, 3.0, 4.0, 10.0, 5.0, 6.0, 16.0]);
+    }
+
+    #[test]
+    fn transposed_products_are_consistent() {
+        let bins = 4;
+        let k = 2;
+        let frames = 3;
+        let w: Vec<f64> = (0..bins * k).map(|i| (i as f64 * 0.37).sin().abs()).collect();
+        let v: Vec<f64> = (0..bins * frames).map(|i| (i as f64 * 0.73).cos().abs()).collect();
+        let mut wt_v = vec![0.0; k * frames];
+        matmul_t_left(&w, &v, &mut wt_v, bins, k, frames);
+        // Check one element by hand: (WᵀV)[c=1, m=2] = Σ_b W[b,1]·V[b,2]
+        let manual: f64 = (0..bins).map(|b| w[b * k + 1] * v[b * frames + 2]).sum();
+        assert!((wt_v[frames + 2] - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn separates_disjoint_tones() {
+        let fs = 100.0;
+        let n = 4000;
+        let s1: Vec<f64> =
+            (0..n).map(|i| (std::f64::consts::TAU * 1.0 * i as f64 / fs).sin()).collect();
+        let s2: Vec<f64> = (0..n)
+            .map(|i| 0.6 * (std::f64::consts::TAU * 3.3 * i as f64 / fs).sin())
+            .collect();
+        let mix: Vec<f64> = s1.iter().zip(&s2).map(|(a, b)| a + b).collect();
+        let tracks = vec![vec![1.0; n], vec![3.3; n]];
+        let ctx = SeparationContext { fs, f0_tracks: &tracks };
+        let est = Nmf { components_per_source: 1, iterations: 80, ..Nmf::default() }
+            .separate(&mix, &ctx)
+            .unwrap();
+        assert!(sdr_db(&s1[600..3400], &est[0][600..3400]) > 6.0);
+        assert!(sdr_db(&s2[600..3400], &est[1][600..3400]) > 6.0);
+    }
+
+    #[test]
+    fn estimates_have_input_length() {
+        let fs = 100.0;
+        let n = 1200;
+        let mix: Vec<f64> =
+            (0..n).map(|i| (std::f64::consts::TAU * 2.0 * i as f64 / fs).sin()).collect();
+        let tracks = vec![vec![2.0; n]];
+        let ctx = SeparationContext { fs, f0_tracks: &tracks };
+        let est = Nmf::default().separate(&mix, &ctx).unwrap();
+        assert_eq!(est[0].len(), n);
+    }
+
+    #[test]
+    fn rejects_short_input() {
+        let tracks = vec![vec![1.0; 10]];
+        let ctx = SeparationContext { fs: 100.0, f0_tracks: &tracks };
+        assert!(matches!(
+            Nmf::default().separate(&[0.0; 10], &ctx),
+            Err(BaselineError::InputTooShort { .. })
+        ));
+    }
+}

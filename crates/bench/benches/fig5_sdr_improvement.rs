@@ -1,0 +1,94 @@
+//! **Figure 5(a)** — DHF's SDR improvement over the best prior method as
+//! a function of the masked-energy ratio (the fraction of energy hidden
+//! by a round's mask that belongs to the target source).
+//!
+//! Expected shape: prior methods struggle precisely when the masked
+//! energy ratio is low (a weak target buried under strong overlapping
+//! interference); DHF's improvement is largest there.
+
+use dhf_bench::{
+    baseline_roster, bench_dhf_config, prepare_mix, run_baseline, run_dhf, Stopwatch,
+};
+use dhf_core::PatternAligner;
+use dhf_dsp::stft::{stft, StftConfig};
+use dhf_metrics::masked_energy_ratio;
+
+fn main() {
+    let watch = Stopwatch::start();
+    println!("=== Figure 5a: DHF SDR gain vs masked-energy ratio ===");
+    let cfg = bench_dhf_config();
+    let baselines = baseline_roster();
+    println!(
+        "{:<18} {:>8} {:>12} {:>10} {:>10}",
+        "case", "MER", "best prior", "DHF", "gain(dB)"
+    );
+
+    let mut series: Vec<(f64, f64)> = Vec::new();
+    for mix_idx in 1..=5 {
+        let prepared = prepare_mix(mix_idx);
+        let (dhf_scores, result) = run_dhf(&prepared, &cfg);
+        let mut best_prior = vec![f64::NEG_INFINITY; prepared.mix.num_sources()];
+        for b in &baselines {
+            let scores = run_baseline(b.as_ref(), &prepared);
+            for (s, &(sdr, _)) in scores.per_source.iter().enumerate() {
+                if sdr > best_prior[s] {
+                    best_prior[s] = sdr;
+                }
+            }
+        }
+        // Masked-energy ratio per round: unwarp the ground-truth target
+        // with the same aligner settings and compare energy inside the
+        // hidden cells.
+        for round in &result.rounds {
+            let si = round.source_index;
+            let truth = &prepared.mix.sources[si];
+            let aligner = PatternAligner::new(&truth.f0, prepared.mix.fs, cfg.fs_prime)
+                .expect("aligner");
+            let un = aligner.unwarp(&truth.samples).expect("unwarp");
+            // Match the round's actual STFT geometry.
+            let window = (round.bins - 1) * 2;
+            let hop = window / 4;
+            let stft_cfg =
+                StftConfig::new(window, hop, cfg.fs_prime).expect("stft config");
+            if un.len() < window {
+                continue;
+            }
+            let tspec = stft(&un.samples, &stft_cfg).expect("stft");
+            let frames = tspec.frames().min(round.frames);
+            // Rebuild bin-major magnitude limited to the common frames.
+            let mut target_mag = vec![0.0f64; round.bins * round.frames];
+            for b in 0..round.bins {
+                for m in 0..frames {
+                    target_mag[b * round.frames + m] = tspec.at(b, m).abs();
+                }
+            }
+            let mer = masked_energy_ratio(&target_mag, &round.residual_magnitude, &round.hidden);
+            let dhf_sdr = dhf_scores.per_source[si].0;
+            let gain = dhf_sdr - best_prior[si];
+            println!(
+                "MSig{mix_idx} source{:<7} {:>8.3} {:>12.2} {:>10.2} {:>10.2}",
+                si + 1,
+                mer,
+                best_prior[si],
+                dhf_sdr,
+                gain
+            );
+            series.push((mer, gain));
+        }
+    }
+
+    // Shape check: average gain in the low-MER half exceeds the high-MER
+    // half (DHF fills the gap where others falter).
+    let mut sorted = series.clone();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let half = sorted.len() / 2;
+    let low: f64 = sorted[..half].iter().map(|&(_, g)| g).sum::<f64>() / half.max(1) as f64;
+    let high: f64 =
+        sorted[half..].iter().map(|&(_, g)| g).sum::<f64>() / (sorted.len() - half).max(1) as f64;
+    println!();
+    println!(
+        "shape check: mean gain at low MER {low:+.2} dB vs high MER {high:+.2} dB -> {}",
+        if low > high { "largest gains at low MER (matches paper)" } else { "MISMATCH" }
+    );
+    println!("total wall time: {:.0}s", watch.secs());
+}

@@ -1,0 +1,46 @@
+//! Diagnostic: per-round behaviour of DHF on one Table-1 mix.
+
+use dhf_bench::{bench_dhf_config, prepare_mix, score_estimates};
+use dhf_core::separate;
+use dhf_dsp::stats::{energy, rms};
+
+fn main() {
+    let idx: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(5);
+    let prepared = prepare_mix(idx);
+    let cfg = bench_dhf_config();
+    let tracks = prepared.mix.f0_tracks();
+    println!("mix {idx}: {} sources, {} samples", tracks.len(), prepared.observed.len());
+    for (i, s) in prepared.mix.sources.iter().enumerate() {
+        println!(
+            "  source{}: rms {:.4}, mean f0 {:.2}",
+            i + 1,
+            rms(&s.samples),
+            s.f0.iter().sum::<f64>() / s.f0.len() as f64
+        );
+    }
+    let result = separate(&prepared.observed, prepared.mix.fs, &tracks, &cfg).unwrap();
+    for r in &result.rounds {
+        println!(
+            "round -> source{}: bins {} frames {} hidden {:.2}% dil {} loss {:?}",
+            r.source_index + 1,
+            r.bins,
+            r.frames,
+            100.0 * r.hidden_fraction,
+            r.dilation,
+            r.train.map(|t| (t.initial_loss, t.final_loss)),
+        );
+    }
+    for (i, est) in result.sources.iter().enumerate() {
+        println!(
+            "  est{}: rms {:.4} (truth {:.4}), energy ratio {:.2}",
+            i + 1,
+            rms(est),
+            rms(&prepared.mix.sources[i].samples),
+            energy(est) / energy(&prepared.mix.sources[i].samples)
+        );
+    }
+    let scores = score_estimates(&prepared.mix, &result.sources);
+    for (i, (sdr, mse)) in scores.iter().enumerate() {
+        println!("  source{}: SDR {sdr:.2} dB, MSE {mse:.2e}", i + 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Fundamental-frequency estimation — the "preliminary analysis of the
+//! mixed signal" option the paper lists for obtaining source frequencies
+//! (§1, assumption 3, citing [7, 12, 20]).
+//!
+//! A windowed autocorrelation tracker: each analysis window's
+//! autocorrelation is searched for its strongest peak inside the source's
+//! expected frequency band, refined by parabolic interpolation, median
+//! filtered over time, and interpolated to a per-sample track.
+
+use crate::DhfError;
+use dhf_dsp::fft::autocorrelation;
+use dhf_dsp::filter::detrend;
+use dhf_dsp::interp::linear_interp;
+use dhf_dsp::median::median_filter;
+
+/// Autocorrelation-based f0 tracker for one source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct F0Estimator {
+    /// Analysis window in seconds (several periods of the slowest f0).
+    pub window_s: f64,
+    /// Hop between estimates in seconds.
+    pub hop_s: f64,
+    /// Expected fundamental band `(f_min, f_max)` in Hz.
+    pub band: (f64, f64),
+    /// Median-filter length over the per-window estimates.
+    pub smooth_len: usize,
+}
+
+impl F0Estimator {
+    /// Creates an estimator for the given search band.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DhfError::NonPositiveFrequency`] unless
+    /// `0 < f_min < f_max`.
+    pub fn new(f_min: f64, f_max: f64) -> Result<Self, DhfError> {
+        if !(f_min > 0.0 && f_min < f_max) {
+            return Err(DhfError::NonPositiveFrequency);
+        }
+        Ok(F0Estimator {
+            window_s: (6.0 / f_min).max(4.0),
+            hop_s: 1.0,
+            band: (f_min, f_max),
+            smooth_len: 5,
+        })
+    }
+
+    /// Estimates a per-sample f0 track.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DhfError::InputTooShort`] when the signal does not cover
+    /// one analysis window.
+    pub fn estimate_track(&self, signal: &[f64], fs: f64) -> Result<Vec<f64>, DhfError> {
+        let win = (self.window_s * fs).round() as usize;
+        let hop = ((self.hop_s * fs).round() as usize).max(1);
+        if signal.len() < win {
+            return Err(DhfError::InputTooShort { needed: win, got: signal.len() });
+        }
+        let lag_lo = ((fs / self.band.1).floor() as usize).max(2);
+        let lag_hi = ((fs / self.band.0).ceil() as usize).min(win - 2);
+
+        let mut centres = Vec::new();
+        let mut estimates = Vec::new();
+        let mut start = 0usize;
+        while start + win <= signal.len() {
+            let seg = detrend(&signal[start..start + win]);
+            let ac = autocorrelation(&seg);
+            // Strongest autocorrelation peak in the lag band.
+            let mut best_lag = lag_lo;
+            let mut best_val = f64::MIN;
+            for lag in lag_lo..=lag_hi.min(ac.len() - 2) {
+                if ac[lag] > best_val {
+                    best_val = ac[lag];
+                    best_lag = lag;
+                }
+            }
+            // Parabolic refinement around the peak.
+            let refined = if best_lag > 0 && best_lag + 1 < ac.len() {
+                let (a, b, c) = (ac[best_lag - 1], ac[best_lag], ac[best_lag + 1]);
+                let denom = a - 2.0 * b + c;
+                let delta = if denom.abs() < 1e-12 { 0.0 } else { 0.5 * (a - c) / denom };
+                best_lag as f64 + delta.clamp(-0.5, 0.5)
+            } else {
+                best_lag as f64
+            };
+            let f = (fs / refined).clamp(self.band.0, self.band.1);
+            centres.push((start + win / 2) as f64);
+            estimates.push(f);
+            start += hop;
+        }
+        let smoothed = median_filter(&estimates, self.smooth_len);
+        let queries: Vec<f64> = (0..signal.len()).map(|i| i as f64).collect();
+        Ok(linear_interp(&centres, &smoothed, &queries)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quasi_periodic(fs: f64, n: usize, f_lo: f64, f_hi: f64) -> (Vec<f64>, Vec<f64>) {
+        let track: Vec<f64> = (0..n)
+            .map(|i| {
+                let x = i as f64 / n as f64;
+                f_lo + (f_hi - f_lo) * 0.5 * (1.0 - (std::f64::consts::TAU * x).cos()) / 1.0
+            })
+            .collect();
+        let mut phase = 0.0;
+        let sig = track
+            .iter()
+            .map(|&f| {
+                phase += std::f64::consts::TAU * f / fs;
+                phase.sin() + 0.4 * (2.0 * phase).sin()
+            })
+            .collect();
+        (sig, track)
+    }
+
+    #[test]
+    fn tracks_constant_frequency() {
+        let fs = 100.0;
+        let n = 3000;
+        let sig: Vec<f64> =
+            (0..n).map(|i| (std::f64::consts::TAU * 1.4 * i as f64 / fs).sin()).collect();
+        let est = F0Estimator::new(0.9, 2.2).unwrap();
+        let track = est.estimate_track(&sig, fs).unwrap();
+        assert_eq!(track.len(), n);
+        for &f in &track[500..n - 500] {
+            assert!((f - 1.4).abs() < 0.08, "estimated {f}");
+        }
+    }
+
+    #[test]
+    fn follows_slow_frequency_drift() {
+        let fs = 100.0;
+        let n = 8000;
+        let (sig, truth) = quasi_periodic(fs, n, 1.1, 1.6);
+        let est = F0Estimator::new(0.9, 2.0).unwrap();
+        let track = est.estimate_track(&sig, fs).unwrap();
+        let mut err = 0.0;
+        let mut count = 0;
+        for i in (1000..n - 1000).step_by(100) {
+            err += (track[i] - truth[i]).abs();
+            count += 1;
+        }
+        let mean_err = err / count as f64;
+        assert!(mean_err < 0.12, "mean tracking error {mean_err} Hz");
+    }
+
+    #[test]
+    fn stays_inside_search_band_under_interference() {
+        let fs = 100.0;
+        let n = 4000;
+        let sig: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                (std::f64::consts::TAU * 1.2 * t).sin()
+                    + 0.8 * (std::f64::consts::TAU * 3.9 * t).sin()
+            })
+            .collect();
+        let est = F0Estimator::new(0.9, 1.6).unwrap();
+        let track = est.estimate_track(&sig, fs).unwrap();
+        assert!(track.iter().all(|&f| (0.9..=1.6).contains(&f)));
+        // And it finds the in-band component.
+        let mid = track[n / 2];
+        assert!((mid - 1.2).abs() < 0.1, "estimated {mid}");
+    }
+
+    #[test]
+    fn rejects_bad_band_and_short_input() {
+        assert!(F0Estimator::new(0.0, 1.0).is_err());
+        assert!(F0Estimator::new(2.0, 1.0).is_err());
+        let est = F0Estimator::new(1.0, 2.0).unwrap();
+        assert!(matches!(
+            est.estimate_track(&[0.0; 100], 100.0),
+            Err(DhfError::InputTooShort { .. })
+        ));
+    }
+}

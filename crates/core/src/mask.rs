@@ -1,0 +1,267 @@
+//! Harmonic mask construction (paper §3.3).
+//!
+//! In the pattern-aligned spectrogram the target source occupies constant
+//! integer-frequency rows; every *other* source traces time-varying ridges
+//! at `k · f_other(t)/f_target(t)` unwarped Hz. The mask conceals a band
+//! around each such ridge for the first `harmonics` multiples, hiding all
+//! significant interference from the in-painting loss (Eq. 9). Overlaps
+//! with the target's own rows are hidden too — those crossover cells are
+//! precisely what the deep prior must in-paint.
+
+use dhf_dsp::stft::StftConfig;
+
+/// A binary visibility mask over a `bins × frames` spectrogram
+/// (bin-major). `true` = visible to the loss, `false` = concealed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarmonicMask {
+    bins: usize,
+    frames: usize,
+    visible: Vec<bool>,
+}
+
+impl HarmonicMask {
+    /// Builds the mask for one separation round.
+    ///
+    /// * `cfg` — the unwarped-space STFT layout (1 unwarped Hz = target
+    ///   fundamental).
+    /// * `frames` — number of STFT frames.
+    /// * `interferer_ratios` — for each non-target source, its frequency
+    ///   ratio `f_other/f_target` evaluated at each frame centre
+    ///   (`frames` values per source).
+    /// * `harmonics` — how many multiples of each interferer to conceal.
+    /// * `bandwidth_hz` — half-width of the concealed band in unwarped Hz.
+    pub fn build(
+        cfg: &StftConfig,
+        frames: usize,
+        interferer_ratios: &[Vec<f64>],
+        harmonics: usize,
+        bandwidth_hz: f64,
+    ) -> Self {
+        Self::build_significant(cfg, frames, interferer_ratios, harmonics, bandwidth_hz, None, 0.0)
+    }
+
+    /// Like [`HarmonicMask::build`], but conceals only the *significant*
+    /// harmonics of each interferer (the paper's wording): a harmonic's
+    /// band is masked only if the mean magnitude along its predicted
+    /// ridge exceeds `factor ×` the image median. Pass the bin-major
+    /// magnitude image of the round's spectrogram.
+    ///
+    /// Blindly masking negligible high harmonics would hide target cells
+    /// for no benefit — exactly what hurts when a weak target shares the
+    /// spectrum with a low-fundamental interferer whose comb is dense.
+    pub fn build_significant(
+        cfg: &StftConfig,
+        frames: usize,
+        interferer_ratios: &[Vec<f64>],
+        harmonics: usize,
+        bandwidth_hz: f64,
+        magnitude: Option<&[f64]>,
+        factor: f64,
+    ) -> Self {
+        let bins = cfg.bins();
+        let median_mag = magnitude.map(|mag| {
+            let mut v = mag.to_vec();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            v[v.len() / 2]
+        });
+        let mut visible = vec![true; bins * frames];
+        for ratios in interferer_ratios {
+            for k in 1..=harmonics {
+                // Significance test along the whole ridge of harmonic k.
+                if let (Some(mag), Some(median)) = (magnitude, median_mag) {
+                    let mut sum = 0.0f64;
+                    let mut count = 0usize;
+                    for (m, &ratio) in ratios.iter().take(frames).enumerate() {
+                        if ratio <= 0.0 {
+                            continue;
+                        }
+                        let centre = k as f64 * ratio;
+                        if centre > cfg.fs() / 2.0 {
+                            continue;
+                        }
+                        let b = cfg.frequency_to_bin(centre);
+                        sum += mag[b * frames + m];
+                        count += 1;
+                    }
+                    if count == 0 || sum / count as f64 <= factor * median {
+                        continue;
+                    }
+                }
+                for (m, &ratio) in ratios.iter().take(frames).enumerate() {
+                    if ratio <= 0.0 {
+                        continue;
+                    }
+                    let centre = k as f64 * ratio;
+                    if centre > cfg.fs() / 2.0 + bandwidth_hz {
+                        continue;
+                    }
+                    let lo_hz = (centre - bandwidth_hz).max(0.0);
+                    let hi_hz = centre + bandwidth_hz;
+                    let lo = cfg.frequency_to_bin(lo_hz);
+                    let hi = cfg.frequency_to_bin(hi_hz.min(cfg.fs() / 2.0));
+                    for b in lo..=hi.min(bins - 1) {
+                        visible[b * frames + m] = false;
+                    }
+                }
+            }
+        }
+        HarmonicMask { bins, frames, visible }
+    }
+
+    /// Number of frequency bins.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Number of time frames.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Visibility of the cell (`bin`, `frame`).
+    #[inline]
+    pub fn is_visible(&self, bin: usize, frame: usize) -> bool {
+        self.visible[bin * self.frames + frame]
+    }
+
+    /// Bin-major `f32` image (1 = visible, 0 = hidden) for the loss.
+    pub fn as_f32(&self) -> Vec<f32> {
+        self.visible.iter().map(|&v| if v { 1.0 } else { 0.0 }).collect()
+    }
+
+    /// Bin-major hidden-cell flags (`true` = concealed), the layout
+    /// [`dhf_metrics::masked_energy_ratio`] expects.
+    pub fn hidden_flags(&self) -> Vec<bool> {
+        self.visible.iter().map(|&v| !v).collect()
+    }
+
+    /// Fraction of cells concealed.
+    pub fn hidden_fraction(&self) -> f64 {
+        if self.visible.is_empty() {
+            return 0.0;
+        }
+        self.visible.iter().filter(|&&v| !v).count() as f64 / self.visible.len() as f64
+    }
+
+    /// Per-frame visibility of a single bin row (used by the cyclic phase
+    /// interpolator).
+    pub fn row_visibility(&self, bin: usize) -> Vec<bool> {
+        (0..self.frames).map(|m| self.is_visible(bin, m)).collect()
+    }
+}
+
+/// A comb gain over frequency that keeps only bands around the target's
+/// harmonic rows (`k` unwarped Hz): the optional output restriction the
+/// pipeline applies before resynthesis so that off-comb hallucinations of
+/// the prior cannot leak into the separated signal.
+pub fn target_comb_gain(cfg: &StftConfig, harmonics: usize, bandwidth_hz: f64) -> Vec<f64> {
+    let bins = cfg.bins();
+    let mut gain = vec![0.0f64; bins];
+    for k in 1..=harmonics {
+        let centre = k as f64;
+        if centre > cfg.fs() / 2.0 + bandwidth_hz {
+            break;
+        }
+        for b in 0..bins {
+            let f = cfg.bin_frequency(b);
+            if (f - centre).abs() <= bandwidth_hz {
+                gain[b] = 1.0;
+            }
+        }
+    }
+    gain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> StftConfig {
+        // Unwarped space: 16 Hz, window 128 → 8 bins per unwarped Hz.
+        StftConfig::new(128, 32, 16.0).unwrap()
+    }
+
+    #[test]
+    fn mask_conceals_interferer_ridge() {
+        let cfg = cfg();
+        let frames = 10;
+        // Interferer fixed at ratio 1.5 → ridge at bin 12 (1.5 × 8).
+        let ratios = vec![vec![1.5; frames]];
+        let mask = HarmonicMask::build(&cfg, frames, &ratios, 2, 0.1);
+        for m in 0..frames {
+            assert!(!mask.is_visible(12, m), "ridge bin should be hidden");
+            assert!(!mask.is_visible(24, m), "2nd harmonic should be hidden");
+            assert!(mask.is_visible(8, m), "target row (1 Hz = bin 8) stays visible");
+            assert!(mask.is_visible(4, m), "background stays visible");
+        }
+    }
+
+    #[test]
+    fn crossover_hides_target_row() {
+        let cfg = cfg();
+        let frames = 6;
+        // Interferer sweeps through the target's 2nd harmonic (2.0) at
+        // frame 3.
+        let ratios =
+            vec![vec![1.7, 1.8, 1.9, 2.0, 2.1, 2.2].iter().map(|&r| r).collect::<Vec<f64>>()];
+        let mask = HarmonicMask::build(&cfg, frames, &ratios, 1, 0.1);
+        // Target 2nd-harmonic row = bin 16.
+        assert!(mask.is_visible(16, 0), "no overlap yet at frame 0");
+        assert!(!mask.is_visible(16, 3), "crossover frame must be hidden");
+    }
+
+    #[test]
+    fn bandwidth_widens_the_concealed_band() {
+        let cfg = cfg();
+        let frames = 4;
+        let ratios = vec![vec![1.5; frames]];
+        let narrow = HarmonicMask::build(&cfg, frames, &ratios, 1, 0.05);
+        let wide = HarmonicMask::build(&cfg, frames, &ratios, 1, 0.4);
+        assert!(wide.hidden_fraction() > narrow.hidden_fraction());
+    }
+
+    #[test]
+    fn no_interferers_means_fully_visible() {
+        let cfg = cfg();
+        let mask = HarmonicMask::build(&cfg, 5, &[], 4, 0.2);
+        assert_eq!(mask.hidden_fraction(), 0.0);
+        assert_eq!(mask.as_f32().iter().filter(|&&v| v == 1.0).count(), cfg.bins() * 5);
+    }
+
+    #[test]
+    fn hidden_flags_complement_visibility() {
+        let cfg = cfg();
+        let ratios = vec![vec![1.3; 3]];
+        let mask = HarmonicMask::build(&cfg, 3, &ratios, 2, 0.15);
+        let hidden = mask.hidden_flags();
+        let f32s = mask.as_f32();
+        for i in 0..hidden.len() {
+            assert_eq!(hidden[i], f32s[i] == 0.0);
+        }
+    }
+
+    #[test]
+    fn target_comb_selects_integer_rows() {
+        let cfg = cfg();
+        let gain = target_comb_gain(&cfg, 3, 0.15);
+        // 8 bins per Hz: rows 8, 16, 24 selected (±1 bin), others zero.
+        assert_eq!(gain[8], 1.0);
+        assert_eq!(gain[16], 1.0);
+        assert_eq!(gain[24], 1.0);
+        assert_eq!(gain[4], 0.0);
+        assert_eq!(gain[12], 0.0);
+        // DC is never selected.
+        assert_eq!(gain[0], 0.0);
+    }
+
+    #[test]
+    fn row_visibility_matches_cells() {
+        let cfg = cfg();
+        let ratios = vec![vec![1.5; 4]];
+        let mask = HarmonicMask::build(&cfg, 4, &ratios, 1, 0.1);
+        let row = mask.row_visibility(12);
+        assert_eq!(row, vec![false; 4]);
+        let row8 = mask.row_visibility(8);
+        assert_eq!(row8, vec![true; 4]);
+    }
+}

@@ -1,0 +1,435 @@
+//! Fast Fourier transforms.
+//!
+//! Two engines are provided behind one entry point:
+//!
+//! * an in-place iterative radix-2 Cooley–Tukey transform for power-of-two
+//!   lengths, and
+//! * Bluestein's chirp-z algorithm for arbitrary lengths, which reduces an
+//!   N-point DFT to a circular convolution carried out with the radix-2
+//!   engine.
+//!
+//! The convention is the unnormalized forward DFT
+//! `X[k] = Σ_n x[n]·e^{-2πi·kn/N}`; [`ifft`] divides by `N`, so
+//! `ifft(fft(x)) == x`.
+
+use crate::complex::Complex;
+
+/// Returns `true` if `n` is a power of two (and non-zero).
+#[inline]
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && (n & (n - 1)) == 0
+}
+
+/// Next power of two greater than or equal to `n`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(dhf_dsp::fft::next_power_of_two(600), 1024);
+/// assert_eq!(dhf_dsp::fft::next_power_of_two(1024), 1024);
+/// ```
+#[inline]
+pub fn next_power_of_two(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// In-place radix-2 FFT.
+///
+/// `sign` is -1.0 for the forward transform, +1.0 for the inverse kernel
+/// (without the 1/N normalization).
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is not a power of two.
+fn fft_radix2_inplace(buf: &mut [Complex], sign: f64) {
+    let n = buf.len();
+    assert!(is_power_of_two(n), "radix-2 FFT requires power-of-two length");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+
+    // Butterfly passes.
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        let half = len / 2;
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::ONE;
+            for k in 0..half {
+                let u = buf[i + k];
+                let v = buf[i + k + half] * w;
+                buf[i + k] = u + v;
+                buf[i + k + half] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward DFT of arbitrary length.
+///
+/// Power-of-two lengths use radix-2 directly; other lengths fall back to
+/// Bluestein's algorithm. The input is borrowed and an owned spectrum is
+/// returned.
+///
+/// # Example
+///
+/// ```
+/// use dhf_dsp::{fft::fft, Complex};
+/// let x = vec![Complex::ONE; 6]; // constant signal of non-pow2 length
+/// let spec = fft(&x);
+/// assert!((spec[0].re - 6.0).abs() < 1e-9);
+/// for k in 1..6 {
+///     assert!(spec[k].abs() < 1e-9);
+/// }
+/// ```
+pub fn fft(input: &[Complex]) -> Vec<Complex> {
+    let mut buf = input.to_vec();
+    fft_inplace(&mut buf);
+    buf
+}
+
+/// Forward DFT, transforming the buffer in place (arbitrary length).
+pub fn fft_inplace(buf: &mut Vec<Complex>) {
+    let n = buf.len();
+    if n <= 1 {
+        return;
+    }
+    if is_power_of_two(n) {
+        fft_radix2_inplace(buf, -1.0);
+    } else {
+        let out = bluestein(buf, -1.0);
+        *buf = out;
+    }
+}
+
+/// Inverse DFT with 1/N normalization so that `ifft(fft(x)) == x`.
+///
+/// # Example
+///
+/// ```
+/// use dhf_dsp::{fft::{fft, ifft}, Complex};
+/// let x: Vec<Complex> = (0..10).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+/// let y = ifft(&fft(&x));
+/// for (a, b) in x.iter().zip(&y) {
+///     assert!((*a - *b).abs() < 1e-9);
+/// }
+/// ```
+pub fn ifft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut buf = input.to_vec();
+    if is_power_of_two(n) {
+        fft_radix2_inplace(&mut buf, 1.0);
+    } else {
+        buf = bluestein(&buf, 1.0);
+    }
+    let scale = 1.0 / n as f64;
+    for v in &mut buf {
+        *v = v.scale(scale);
+    }
+    buf
+}
+
+/// Bluestein chirp-z transform: N-point DFT via a (2N-1)-padded circular
+/// convolution evaluated with the radix-2 engine.
+fn bluestein(input: &[Complex], sign: f64) -> Vec<Complex> {
+    let n = input.len();
+    let m = next_power_of_two(2 * n - 1);
+    let pi = std::f64::consts::PI;
+
+    // Chirp w[k] = e^{sign·iπ k²/N}. Use k² mod 2N to keep the angle small
+    // and numerically stable for long signals.
+    let mut chirp = Vec::with_capacity(n);
+    for k in 0..n {
+        let kk = (k as u128 * k as u128) % (2 * n as u128);
+        chirp.push(Complex::cis(sign * pi * kk as f64 / n as f64));
+    }
+
+    let mut a = vec![Complex::ZERO; m];
+    for k in 0..n {
+        a[k] = input[k] * chirp[k];
+    }
+    let mut b = vec![Complex::ZERO; m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        b[m - k] = c;
+    }
+
+    fft_radix2_inplace(&mut a, -1.0);
+    fft_radix2_inplace(&mut b, -1.0);
+    for i in 0..m {
+        a[i] *= b[i];
+    }
+    fft_radix2_inplace(&mut a, 1.0);
+    let scale = 1.0 / m as f64;
+
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        out.push(a[k].scale(scale) * chirp[k]);
+    }
+    out
+}
+
+/// Forward DFT of a real signal, returning only the non-redundant half
+/// (`N/2 + 1` bins for even `N`, `(N+1)/2` for odd `N`).
+///
+/// # Example
+///
+/// ```
+/// use dhf_dsp::fft::fft_real;
+/// let x = vec![1.0, 0.0, -1.0, 0.0]; // cos at Nyquist/2
+/// let spec = fft_real(&x);
+/// assert_eq!(spec.len(), 3);
+/// assert!((spec[1].re - 2.0).abs() < 1e-12);
+/// ```
+pub fn fft_real(input: &[f64]) -> Vec<Complex> {
+    let buf: Vec<Complex> = input.iter().map(|&x| Complex::from_real(x)).collect();
+    let full = fft(&buf);
+    let half = input.len() / 2 + 1;
+    full.into_iter().take(half.max(1).min(input.len().max(1))).collect()
+}
+
+/// Inverse of [`fft_real`]: reconstructs a length-`n` real signal from its
+/// half spectrum by mirroring Hermitian symmetry.
+///
+/// # Panics
+///
+/// Panics if `half.len()` is inconsistent with `n` (must equal `n/2 + 1`
+/// for even `n` or `(n+1)/2` for odd `n`).
+pub fn ifft_real(half: &[Complex], n: usize) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let expected = if n % 2 == 0 { n / 2 + 1 } else { n / 2 + 1 };
+    assert_eq!(
+        half.len(),
+        expected.min(n),
+        "half spectrum length inconsistent with signal length"
+    );
+    let mut full = vec![Complex::ZERO; n];
+    for (k, &v) in half.iter().enumerate() {
+        full[k] = v;
+    }
+    for k in half.len()..n {
+        full[k] = full[n - k].conj();
+    }
+    ifft(&full).into_iter().map(|c| c.re).collect()
+}
+
+/// Frequency (Hz) of each bin of an `n`-point DFT at sample rate `fs`,
+/// for the non-negative half `0..=n/2`.
+pub fn rfft_frequencies(n: usize, fs: f64) -> Vec<f64> {
+    (0..=n / 2).map(|k| k as f64 * fs / n as f64).collect()
+}
+
+/// Circular convolution of two equal-length sequences via the FFT.
+pub fn circular_convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "circular convolution requires equal lengths");
+    let n = a.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let fa = fft(&a.iter().map(|&x| Complex::from_real(x)).collect::<Vec<_>>());
+    let fb = fft(&b.iter().map(|&x| Complex::from_real(x)).collect::<Vec<_>>());
+    let prod: Vec<Complex> = fa.iter().zip(&fb).map(|(&x, &y)| x * y).collect();
+    ifft(&prod).into_iter().map(|c| c.re).collect()
+}
+
+/// Linear (acyclic) autocorrelation of `x` for non-negative lags,
+/// normalized so lag 0 equals 1 (unless the signal is all-zero).
+///
+/// Computed in O(N log N) via zero-padded FFT.
+pub fn autocorrelation(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let m = next_power_of_two(2 * n);
+    let mut buf = vec![Complex::ZERO; m];
+    for (i, &v) in x.iter().enumerate() {
+        buf[i] = Complex::from_real(v);
+    }
+    fft_radix2_inplace(&mut buf, -1.0);
+    for v in buf.iter_mut() {
+        *v = Complex::from_real(v.norm_sqr());
+    }
+    fft_radix2_inplace(&mut buf, 1.0);
+    let r0 = buf[0].re;
+    let norm = if r0.abs() < f64::EPSILON { 1.0 } else { r0 };
+    (0..n).map(|k| buf[k].re / norm).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                (0..n)
+                    .map(|t| {
+                        x[t] * Complex::cis(
+                            -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64,
+                        )
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn assert_spec_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((*x - *y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    fn test_signal(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| {
+                Complex::new(
+                    (i as f64 * 0.37).sin() + 0.3 * (i as f64 * 1.7).cos(),
+                    (i as f64 * 0.11).cos() - 0.2,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn radix2_matches_naive_dft() {
+        for &n in &[1usize, 2, 4, 8, 16, 64] {
+            let x = test_signal(n);
+            assert_spec_close(&fft(&x), &naive_dft(&x), 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn bluestein_matches_naive_dft() {
+        for &n in &[3usize, 5, 6, 7, 12, 60, 100] {
+            let x = test_signal(n);
+            assert_spec_close(&fft(&x), &naive_dft(&x), 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft_all_lengths() {
+        for &n in &[1usize, 2, 3, 5, 8, 17, 100, 128] {
+            let x = test_signal(n);
+            let y = ifft(&fft(&x));
+            assert_spec_close(&x, &y, 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 128;
+        let x = test_signal(n);
+        let spec = fft(&x);
+        let et: f64 = x.iter().map(|c| c.norm_sqr()).sum();
+        let ef: f64 = spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((et - ef).abs() < 1e-8 * et);
+    }
+
+    #[test]
+    fn pure_tone_concentrates_in_one_bin() {
+        let n = 256;
+        let f = 17.0;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / n as f64).sin())
+            .collect();
+        let spec = fft_real(&x);
+        let mags: Vec<f64> = spec.iter().map(|c| c.abs()).collect();
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 17);
+        // everything else is numerically zero
+        for (k, &m) in mags.iter().enumerate() {
+            if k != 17 {
+                assert!(m < 1e-9, "bin {k} leaked {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn real_round_trip_even_and_odd() {
+        for &n in &[8usize, 9, 100, 101] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.73).sin() + 0.1).collect();
+            let y = ifft_real(&fft_real(&x), n);
+            for (a, b) in x.iter().zip(&y) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rfft_frequencies_span_zero_to_nyquist() {
+        let f = rfft_frequencies(100, 100.0);
+        assert_eq!(f.len(), 51);
+        assert!((f[0]).abs() < 1e-12);
+        assert!((f[50] - 50.0).abs() < 1e-12);
+        assert!((f[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circular_convolution_with_delta_is_identity() {
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut delta = vec![0.0; 5];
+        delta[0] = 1.0;
+        let y = circular_convolve(&x, &delta);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn autocorrelation_peaks_at_signal_period() {
+        let fs = 100.0;
+        let period = 25; // 4 Hz at 100 Hz sampling
+        let x: Vec<f64> = (0..1000)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / period as f64).sin())
+            .collect();
+        let ac = autocorrelation(&x);
+        assert!((ac[0] - 1.0).abs() < 1e-9);
+        // find the max away from lag 0
+        let lag = (10..200)
+            .max_by(|&a, &b| ac[a].partial_cmp(&ac[b]).unwrap())
+            .unwrap();
+        let freq = fs / lag as f64;
+        assert!((freq - 4.0).abs() < 0.2, "estimated {freq} Hz");
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(fft(&[]).is_empty());
+        assert!(ifft(&[]).is_empty());
+        assert!(autocorrelation(&[]).is_empty());
+    }
+}

@@ -1,0 +1,351 @@
+//! Interpolation primitives.
+//!
+//! The DHF pattern aligner (paper Eqs. 6–7) is implemented as two sequential
+//! 1-D interpolations, and EMD's envelope construction needs cubic splines;
+//! this module provides linear, natural cubic-spline, and monotone PCHIP
+//! interpolants over strictly increasing abscissae.
+
+use crate::{DspError, Result};
+
+fn validate_xy(xs: &[f64], ys: &[f64]) -> Result<()> {
+    if xs.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if xs.len() != ys.len() {
+        return Err(DspError::LengthMismatch { expected: xs.len(), actual: ys.len() });
+    }
+    if xs.windows(2).any(|w| w[1] <= w[0]) {
+        return Err(DspError::NonMonotonicAbscissae);
+    }
+    Ok(())
+}
+
+/// Index of the knot interval containing `x` (clamped to the ends).
+#[inline]
+fn locate(xs: &[f64], x: f64) -> usize {
+    match xs.binary_search_by(|v| v.partial_cmp(&x).unwrap()) {
+        Ok(i) => i.min(xs.len() - 2),
+        Err(0) => 0,
+        Err(i) if i >= xs.len() => xs.len() - 2,
+        Err(i) => i - 1,
+    }
+}
+
+/// Piecewise-linear interpolation of `(xs, ys)` evaluated at each query
+/// point, extrapolating by clamping to the end values.
+///
+/// # Errors
+///
+/// Returns an error if inputs are empty, mismatched, or `xs` is not strictly
+/// increasing.
+///
+/// # Example
+///
+/// ```
+/// use dhf_dsp::interp::linear_interp;
+/// let y = linear_interp(&[0.0, 1.0, 2.0], &[0.0, 10.0, 0.0], &[0.5, 1.5, 5.0])?;
+/// assert_eq!(y, vec![5.0, 5.0, 0.0]);
+/// # Ok::<(), dhf_dsp::DspError>(())
+/// ```
+pub fn linear_interp(xs: &[f64], ys: &[f64], queries: &[f64]) -> Result<Vec<f64>> {
+    validate_xy(xs, ys)?;
+    if xs.len() == 1 {
+        return Ok(vec![ys[0]; queries.len()]);
+    }
+    Ok(queries
+        .iter()
+        .map(|&q| {
+            if q <= xs[0] {
+                ys[0]
+            } else if q >= xs[xs.len() - 1] {
+                ys[ys.len() - 1]
+            } else {
+                let i = locate(xs, q);
+                let t = (q - xs[i]) / (xs[i + 1] - xs[i]);
+                ys[i] + t * (ys[i + 1] - ys[i])
+            }
+        })
+        .collect())
+}
+
+/// Natural cubic spline through `(xs, ys)`.
+///
+/// Second derivatives vanish at both ends; evaluation clamps outside the
+/// knot range to linear extension of the boundary segments' endpoint value.
+///
+/// # Example
+///
+/// ```
+/// use dhf_dsp::interp::CubicSpline;
+/// let s = CubicSpline::new(&[0.0, 1.0, 2.0, 3.0], &[0.0, 1.0, 0.0, -1.0])?;
+/// assert!((s.eval(1.0) - 1.0).abs() < 1e-12); // interpolates knots
+/// # Ok::<(), dhf_dsp::DspError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CubicSpline {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Second derivatives at the knots.
+    m: Vec<f64>,
+}
+
+impl CubicSpline {
+    /// Fits a natural cubic spline.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty/mismatched inputs or non-increasing `xs`.
+    /// With fewer than three points the spline degrades gracefully to
+    /// linear interpolation.
+    pub fn new(xs: &[f64], ys: &[f64]) -> Result<Self> {
+        validate_xy(xs, ys)?;
+        let n = xs.len();
+        let mut m = vec![0.0; n];
+        if n >= 3 {
+            // Thomas algorithm on the tridiagonal natural-spline system.
+            let mut sub = vec![0.0; n];
+            let mut diag = vec![0.0; n];
+            let mut sup = vec![0.0; n];
+            let mut rhs = vec![0.0; n];
+            diag[0] = 1.0;
+            diag[n - 1] = 1.0;
+            for i in 1..n - 1 {
+                let h0 = xs[i] - xs[i - 1];
+                let h1 = xs[i + 1] - xs[i];
+                sub[i] = h0;
+                diag[i] = 2.0 * (h0 + h1);
+                sup[i] = h1;
+                rhs[i] = 6.0 * ((ys[i + 1] - ys[i]) / h1 - (ys[i] - ys[i - 1]) / h0);
+            }
+            for i in 1..n {
+                let w = sub[i] / diag[i - 1];
+                diag[i] -= w * sup[i - 1];
+                rhs[i] -= w * rhs[i - 1];
+            }
+            m[n - 1] = rhs[n - 1] / diag[n - 1];
+            for i in (0..n - 1).rev() {
+                m[i] = (rhs[i] - sup[i] * m[i + 1]) / diag[i];
+            }
+        }
+        Ok(CubicSpline { xs: xs.to_vec(), ys: ys.to_vec(), m })
+    }
+
+    /// Evaluates the spline at `x` (clamped outside the knot range).
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if n == 1 {
+            return self.ys[0];
+        }
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        let i = locate(&self.xs, x);
+        let h = self.xs[i + 1] - self.xs[i];
+        let a = (self.xs[i + 1] - x) / h;
+        let b = (x - self.xs[i]) / h;
+        a * self.ys[i]
+            + b * self.ys[i + 1]
+            + ((a * a * a - a) * self.m[i] + (b * b * b - b) * self.m[i + 1]) * h * h / 6.0
+    }
+
+    /// Evaluates the spline at many points.
+    pub fn eval_many(&self, queries: &[f64]) -> Vec<f64> {
+        queries.iter().map(|&q| self.eval(q)).collect()
+    }
+}
+
+/// Monotone piecewise-cubic Hermite interpolant (PCHIP, Fritsch–Carlson).
+///
+/// Unlike the natural cubic spline it never overshoots the data, which makes
+/// it the safe choice when resampling warped time axes that must stay
+/// monotone.
+#[derive(Debug, Clone)]
+pub struct Pchip {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// First derivatives at the knots.
+    d: Vec<f64>,
+}
+
+impl Pchip {
+    /// Fits a monotone PCHIP interpolant.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty/mismatched inputs or non-increasing `xs`.
+    pub fn new(xs: &[f64], ys: &[f64]) -> Result<Self> {
+        validate_xy(xs, ys)?;
+        let n = xs.len();
+        let mut d = vec![0.0; n];
+        if n >= 2 {
+            let h: Vec<f64> = (0..n - 1).map(|i| xs[i + 1] - xs[i]).collect();
+            let delta: Vec<f64> = (0..n - 1).map(|i| (ys[i + 1] - ys[i]) / h[i]).collect();
+            if n == 2 {
+                d[0] = delta[0];
+                d[1] = delta[0];
+            } else {
+                for i in 1..n - 1 {
+                    if delta[i - 1] * delta[i] <= 0.0 {
+                        d[i] = 0.0;
+                    } else {
+                        let w1 = 2.0 * h[i] + h[i - 1];
+                        let w2 = h[i] + 2.0 * h[i - 1];
+                        d[i] = (w1 + w2) / (w1 / delta[i - 1] + w2 / delta[i]);
+                    }
+                }
+                d[0] = pchip_end_derivative(h[0], h[1], delta[0], delta[1]);
+                d[n - 1] = pchip_end_derivative(h[n - 2], h[n - 3], delta[n - 2], delta[n - 3]);
+            }
+        }
+        Ok(Pchip { xs: xs.to_vec(), ys: ys.to_vec(), d })
+    }
+
+    /// Evaluates the interpolant at `x` (clamped outside the knot range).
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if n == 1 {
+            return self.ys[0];
+        }
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        let i = locate(&self.xs, x);
+        let h = self.xs[i + 1] - self.xs[i];
+        let t = (x - self.xs[i]) / h;
+        let t2 = t * t;
+        let t3 = t2 * t;
+        let h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+        let h10 = t3 - 2.0 * t2 + t;
+        let h01 = -2.0 * t3 + 3.0 * t2;
+        let h11 = t3 - t2;
+        h00 * self.ys[i] + h10 * h * self.d[i] + h01 * self.ys[i + 1] + h11 * h * self.d[i + 1]
+    }
+
+    /// Evaluates the interpolant at many points.
+    pub fn eval_many(&self, queries: &[f64]) -> Vec<f64> {
+        queries.iter().map(|&q| self.eval(q)).collect()
+    }
+}
+
+/// One-sided three-point end derivative with monotonicity limiting
+/// (Fritsch–Carlson boundary treatment).
+fn pchip_end_derivative(h0: f64, h1: f64, d0: f64, d1: f64) -> f64 {
+    let d = ((2.0 * h0 + h1) * d0 - h0 * d1) / (h0 + h1);
+    if d * d0 <= 0.0 {
+        0.0
+    } else if d0 * d1 <= 0.0 && d.abs() > 3.0 * d0.abs() {
+        3.0 * d0
+    } else {
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_interp_hits_knots_and_midpoints() {
+        let xs = [0.0, 1.0, 3.0];
+        let ys = [2.0, 4.0, 0.0];
+        let out = linear_interp(&xs, &ys, &[0.0, 0.5, 1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(out, vec![2.0, 3.0, 4.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn linear_interp_clamps_outside_range() {
+        let out = linear_interp(&[0.0, 1.0], &[5.0, 7.0], &[-1.0, 2.0]).unwrap();
+        assert_eq!(out, vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        assert_eq!(linear_interp(&[], &[], &[0.0]).unwrap_err(), DspError::EmptyInput);
+        assert!(matches!(
+            linear_interp(&[0.0, 1.0], &[0.0], &[0.5]).unwrap_err(),
+            DspError::LengthMismatch { .. }
+        ));
+        assert_eq!(
+            linear_interp(&[0.0, 0.0], &[1.0, 2.0], &[0.0]).unwrap_err(),
+            DspError::NonMonotonicAbscissae
+        );
+    }
+
+    #[test]
+    fn cubic_spline_interpolates_knots() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| (x * 0.8).sin()).collect();
+        let s = CubicSpline::new(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((s.eval(*x) - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cubic_spline_tracks_smooth_function() {
+        let xs: Vec<f64> = (0..40).map(|i| i as f64 * 0.25).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| x.sin()).collect();
+        let s = CubicSpline::new(&xs, &ys).unwrap();
+        for i in 0..200 {
+            let x = 0.5 + i as f64 * 0.04;
+            assert!((s.eval(x) - x.sin()).abs() < 1e-3, "at {x}");
+        }
+    }
+
+    #[test]
+    fn cubic_spline_reproduces_straight_line_exactly() {
+        let xs = [0.0, 1.0, 2.5, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x - 1.0).collect();
+        let s = CubicSpline::new(&xs, &ys).unwrap();
+        for i in 0..40 {
+            let x = i as f64 * 0.1;
+            assert!((s.eval(x) - (3.0 * x - 1.0)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn pchip_interpolates_knots() {
+        let xs = [0.0, 1.0, 2.0, 3.5, 5.0];
+        let ys = [0.0, 2.0, 1.0, 1.0, 8.0];
+        let p = Pchip::new(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((p.eval(*x) - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pchip_preserves_monotonicity() {
+        // Step-like monotone data: spline would overshoot, PCHIP must not.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let ys = [0.0, 0.0, 1.0, 1.0, 1.0];
+        let p = Pchip::new(&xs, &ys).unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=400 {
+            let x = i as f64 * 0.01;
+            let v = p.eval(x);
+            assert!(v >= prev - 1e-12, "not monotone at {x}");
+            assert!((-1e-12..=1.0 + 1e-12).contains(&v), "overshoot at {x}: {v}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn two_point_interpolants_are_linear() {
+        let s = CubicSpline::new(&[0.0, 2.0], &[1.0, 5.0]).unwrap();
+        let p = Pchip::new(&[0.0, 2.0], &[1.0, 5.0]).unwrap();
+        assert!((s.eval(1.0) - 3.0).abs() < 1e-12);
+        assert!((p.eval(1.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_point_is_constant() {
+        let out = linear_interp(&[1.0], &[42.0], &[0.0, 1.0, 2.0]).unwrap();
+        assert_eq!(out, vec![42.0; 3]);
+    }
+}

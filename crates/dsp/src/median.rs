@@ -1,0 +1,90 @@
+//! Sliding median filters over 1-D signals and across spectrogram frames.
+//!
+//! REPET builds its repeating-background model by taking medians across
+//! frames spaced one repeating period apart; the helpers here serve that and
+//! general robust smoothing.
+
+use crate::stats::median;
+
+/// Sliding-window median of width `len` (forced odd), edge-truncated: near
+/// the boundaries the window shrinks rather than padding.
+pub fn median_filter(x: &[f64], len: usize) -> Vec<f64> {
+    if x.is_empty() || len <= 1 {
+        return x.to_vec();
+    }
+    let len = if len % 2 == 0 { len + 1 } else { len };
+    let half = len / 2;
+    let n = x.len();
+    (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(n);
+            median(&x[lo..hi]).unwrap_or(x[i])
+        })
+        .collect()
+}
+
+/// Median across a set of equal-length rows, elementwise.
+///
+/// Returns an empty vector if `rows` is empty.
+///
+/// # Panics
+///
+/// Panics if the rows have differing lengths.
+pub fn median_across(rows: &[&[f64]]) -> Vec<f64> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let width = rows[0].len();
+    for r in rows {
+        assert_eq!(r.len(), width, "rows must have equal lengths");
+    }
+    let mut scratch = Vec::with_capacity(rows.len());
+    (0..width)
+        .map(|j| {
+            scratch.clear();
+            scratch.extend(rows.iter().map(|r| r[j]));
+            median(&scratch).expect("non-empty scratch")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_filter_removes_impulse_noise() {
+        let mut x = vec![1.0; 20];
+        x[7] = 100.0;
+        x[13] = -50.0;
+        let y = median_filter(&x, 3);
+        assert!(y.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn median_filter_preserves_constant_signal() {
+        let x = vec![3.5; 10];
+        assert_eq!(median_filter(&x, 5), x);
+    }
+
+    #[test]
+    fn median_filter_window_of_one_is_identity() {
+        let x = vec![1.0, 9.0, 2.0];
+        assert_eq!(median_filter(&x, 1), x);
+    }
+
+    #[test]
+    fn median_across_rows() {
+        let r1 = [1.0, 10.0, 3.0];
+        let r2 = [2.0, 20.0, 1.0];
+        let r3 = [3.0, 30.0, 2.0];
+        let m = median_across(&[&r1, &r2, &r3]);
+        assert_eq!(m, vec![2.0, 20.0, 2.0]);
+    }
+
+    #[test]
+    fn median_across_empty_is_empty() {
+        assert!(median_across(&[]).is_empty());
+    }
+}

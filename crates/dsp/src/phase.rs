@@ -1,0 +1,170 @@
+//! Phase utilities: unwrapping, cumulative phase from frequency tracks, and
+//! cyclic interpolation across masked gaps.
+//!
+//! The paper's §3.4 interpolates the real and imaginary parts of each bin's
+//! phasor separately, then re-derives the phase, so that interpolation
+//! respects the circular topology of angles — [`interpolate_cyclic`]
+//! implements exactly that.
+
+use crate::interp::linear_interp;
+
+/// Unwraps a wrapped phase sequence so consecutive differences stay within
+/// `(-π, π]`.
+///
+/// # Example
+///
+/// ```
+/// use dhf_dsp::phase::unwrap;
+/// let tau = std::f64::consts::TAU;
+/// // A linear ramp wrapped into (-π, π]: unwrap recovers the ramp.
+/// let wrapped: Vec<f64> = (0..20)
+///     .map(|i| {
+///         let p: f64 = 0.9 * i as f64;
+///         (p + std::f64::consts::PI).rem_euclid(tau) - std::f64::consts::PI
+///     })
+///     .collect();
+/// let un = unwrap(&wrapped);
+/// for (i, v) in un.iter().enumerate() {
+///     assert!((v - 0.9 * i as f64).abs() < 1e-9);
+/// }
+/// ```
+pub fn unwrap(phase: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(phase.len());
+    let mut offset = 0.0;
+    let tau = std::f64::consts::TAU;
+    for (i, &p) in phase.iter().enumerate() {
+        if i > 0 {
+            let mut d = p + offset - out[i - 1];
+            while d > std::f64::consts::PI {
+                offset -= tau;
+                d -= tau;
+            }
+            while d < -std::f64::consts::PI {
+                offset += tau;
+                d += tau;
+            }
+        }
+        out.push(p + offset);
+    }
+    out
+}
+
+/// Cumulative unrolled phase `Φ[n] = 2π·Σ_{i<n} f[i]·Δt` of a frequency
+/// track sampled at `fs` (paper Eq. 4, left-Riemann form). `Φ[0] = 0` so
+/// the first sample carries zero accumulated phase.
+pub fn cumulative_phase(freq_track: &[f64], fs: f64) -> Vec<f64> {
+    let dt = 1.0 / fs;
+    let tau = std::f64::consts::TAU;
+    let mut out = Vec::with_capacity(freq_track.len());
+    let mut acc = 0.0;
+    for &f in freq_track {
+        out.push(tau * acc);
+        acc += f * dt;
+    }
+    out
+}
+
+/// Interpolates angles across masked gaps the cyclic way: the cosine and
+/// sine of the angle are interpolated independently over the valid samples
+/// and the angle re-derived with `atan2` (paper §3.4).
+///
+/// `valid[i] == true` marks samples whose phase is trusted; the rest are
+/// re-estimated. If fewer than two samples are valid the input is returned
+/// unchanged.
+///
+/// # Panics
+///
+/// Panics if `phase.len() != valid.len()`.
+pub fn interpolate_cyclic(phase: &[f64], valid: &[bool]) -> Vec<f64> {
+    assert_eq!(phase.len(), valid.len(), "phase/valid length mismatch");
+    let n = phase.len();
+    let idx: Vec<usize> = (0..n).filter(|&i| valid[i]).collect();
+    if idx.len() < 2 || idx.len() == n {
+        return phase.to_vec();
+    }
+    let xs: Vec<f64> = idx.iter().map(|&i| i as f64).collect();
+    let cos_v: Vec<f64> = idx.iter().map(|&i| phase[i].cos()).collect();
+    let sin_v: Vec<f64> = idx.iter().map(|&i| phase[i].sin()).collect();
+    let queries: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    // xs strictly increasing by construction; unwrap is safe.
+    let ci = linear_interp(&xs, &cos_v, &queries).expect("valid interpolation inputs");
+    let si = linear_interp(&xs, &sin_v, &queries).expect("valid interpolation inputs");
+    (0..n)
+        .map(|i| if valid[i] { phase[i] } else { si[i].atan2(ci[i]) })
+        .collect()
+}
+
+/// Wraps an angle into `(-π, π]`.
+#[inline]
+pub fn wrap_angle(theta: f64) -> f64 {
+    let tau = std::f64::consts::TAU;
+    let w = (theta + std::f64::consts::PI).rem_euclid(tau) - std::f64::consts::PI;
+    if w == -std::f64::consts::PI {
+        std::f64::consts::PI
+    } else {
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn unwrap_identity_when_already_smooth() {
+        let p: Vec<f64> = (0..10).map(|i| 0.1 * i as f64).collect();
+        assert_eq!(unwrap(&p), p);
+    }
+
+    #[test]
+    fn cumulative_phase_of_constant_frequency_is_linear() {
+        let fs = 100.0;
+        let track = vec![2.0; 200]; // 2 Hz
+        let phi = cumulative_phase(&track, fs);
+        // After 1 second (100 samples) the phase advanced by 2·2π.
+        assert!((phi[99] - 2.0 * std::f64::consts::TAU).abs() < 0.2);
+        // Strictly increasing.
+        assert!(phi.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn cyclic_interp_bridges_wrap_point() {
+        // Angles near ±π: naive linear interpolation would pass through 0,
+        // cyclic interpolation stays near ±π.
+        let phase = vec![PI - 0.1, 0.0, -(PI - 0.1)];
+        let valid = vec![true, false, true];
+        let out = interpolate_cyclic(&phase, &valid);
+        assert!(out[1].abs() > PI - 0.2, "interpolated through zero: {}", out[1]);
+    }
+
+    #[test]
+    fn cyclic_interp_keeps_valid_samples() {
+        let phase = vec![0.3, 0.9, 1.4, 2.2];
+        let valid = vec![true, false, true, true];
+        let out = interpolate_cyclic(&phase, &valid);
+        assert_eq!(out[0], 0.3);
+        assert_eq!(out[2], 1.4);
+        assert_eq!(out[3], 2.2);
+        assert!((out[1] - 0.85).abs() < 0.2);
+    }
+
+    #[test]
+    fn cyclic_interp_with_no_valid_points_is_identity() {
+        let phase = vec![0.1, 0.2];
+        let out = interpolate_cyclic(&phase, &[false, false]);
+        assert_eq!(out, phase);
+    }
+
+    #[test]
+    fn wrap_angle_is_in_range() {
+        for k in -20..20 {
+            let theta = k as f64 * 1.3;
+            let w = wrap_angle(theta);
+            assert!(w > -PI - 1e-12 && w <= PI + 1e-12);
+            // Same point on the circle.
+            assert!((w.cos() - theta.cos()).abs() < 1e-9);
+            assert!((w.sin() - theta.sin()).abs() < 1e-9);
+        }
+    }
+}

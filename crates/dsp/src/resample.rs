@@ -1,0 +1,110 @@
+//! Sample-rate conversion on uniform and non-uniform grids.
+
+use crate::interp::{linear_interp, Pchip};
+use crate::{DspError, Result};
+
+/// Resamples a uniformly sampled signal from `fs_in` to `fs_out` using
+/// monotone cubic (PCHIP) interpolation.
+///
+/// The output covers the same time span `[0, (n-1)/fs_in]`.
+///
+/// # Errors
+///
+/// Returns an error if the signal is empty or a rate is not positive.
+///
+/// # Example
+///
+/// ```
+/// use dhf_dsp::resample::resample_uniform;
+/// let x: Vec<f64> = (0..100).map(|i| (i as f64 * 0.2).sin()).collect();
+/// let y = resample_uniform(&x, 100.0, 50.0)?;
+/// assert_eq!(y.len(), 50);
+/// # Ok::<(), dhf_dsp::DspError>(())
+/// ```
+pub fn resample_uniform(signal: &[f64], fs_in: f64, fs_out: f64) -> Result<Vec<f64>> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if !(fs_in > 0.0) || !(fs_out > 0.0) {
+        return Err(DspError::InvalidParameter {
+            name: "fs",
+            message: "sample rates must be positive".into(),
+        });
+    }
+    let n = signal.len();
+    let duration = (n - 1) as f64 / fs_in;
+    let m = (duration * fs_out).floor() as usize + 1;
+    let ts: Vec<f64> = (0..n).map(|i| i as f64 / fs_in).collect();
+    let interp = Pchip::new(&ts, signal)?;
+    Ok((0..m).map(|j| interp.eval(j as f64 / fs_out)).collect())
+}
+
+/// Samples `(xs, ys)` (non-uniform, strictly increasing `xs`) onto an
+/// arbitrary query grid with linear interpolation, clamping outside the
+/// input span.
+///
+/// # Errors
+///
+/// Propagates interpolation validation errors.
+pub fn sample_at(xs: &[f64], ys: &[f64], queries: &[f64]) -> Result<Vec<f64>> {
+    linear_interp(xs, ys, queries)
+}
+
+/// Generates the uniform time axis `0, 1/fs, …, (n-1)/fs`.
+pub fn time_axis(n: usize, fs: f64) -> Vec<f64> {
+    (0..n).map(|i| i as f64 / fs).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_resample_is_lossless() {
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).cos()).collect();
+        let y = resample_uniform(&x, 100.0, 100.0).unwrap();
+        assert_eq!(y.len(), x.len());
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn downsample_preserves_low_frequency_content() {
+        let fs = 200.0;
+        let x: Vec<f64> = (0..2000)
+            .map(|i| (2.0 * std::f64::consts::PI * 2.0 * i as f64 / fs).sin())
+            .collect();
+        let y = resample_uniform(&x, fs, 50.0).unwrap();
+        // Compare against analytic values on the coarse grid.
+        for (j, &v) in y.iter().enumerate() {
+            let t = j as f64 / 50.0;
+            let expected = (2.0 * std::f64::consts::PI * 2.0 * t).sin();
+            assert!((v - expected).abs() < 1e-2, "at {t}: {v} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn upsample_doubles_length_approximately() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let y = resample_uniform(&x, 10.0, 20.0).unwrap();
+        assert_eq!(y.len(), 199);
+        // Linear data must be reproduced exactly by PCHIP.
+        for (j, &v) in y.iter().enumerate() {
+            assert!((v - j as f64 / 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_rates() {
+        assert!(resample_uniform(&[1.0, 2.0], 0.0, 1.0).is_err());
+        assert!(resample_uniform(&[], 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn time_axis_spacing() {
+        let t = time_axis(5, 10.0);
+        assert_eq!(t.len(), 5);
+        assert!((t[4] - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,481 @@
+//! Short-time Fourier transform and its inverse.
+//!
+//! The DHF pipeline operates on complex spectrograms: masks and in-painting
+//! act on the magnitude, phase is interpolated separately, and the result is
+//! resynthesized with a weighted overlap-add inverse (synthesis window equal
+//! to the analysis window, normalized by the squared-window overlap), which
+//! reconstructs COLA-compliant configurations exactly in the interior.
+
+use crate::complex::Complex;
+use crate::fft::{fft_real, ifft_real};
+use crate::window::{cola_deviation, WindowKind};
+use crate::{DspError, Result};
+
+/// STFT analysis parameters.
+///
+/// # Example
+///
+/// ```
+/// use dhf_dsp::StftConfig;
+/// let cfg = StftConfig::new(128, 32, 16.0)?;
+/// assert_eq!(cfg.bins(), 65);
+/// # Ok::<(), dhf_dsp::DspError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StftConfig {
+    window_len: usize,
+    hop: usize,
+    fs: f64,
+    kind: WindowKind,
+}
+
+impl StftConfig {
+    /// Creates a configuration with a Hann window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if `window_len` or `hop` is
+    /// zero, `hop > window_len`, or `fs` is not positive.
+    pub fn new(window_len: usize, hop: usize, fs: f64) -> Result<Self> {
+        Self::with_window(window_len, hop, fs, WindowKind::Hann)
+    }
+
+    /// Creates a configuration with an explicit window shape.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StftConfig::new`].
+    pub fn with_window(window_len: usize, hop: usize, fs: f64, kind: WindowKind) -> Result<Self> {
+        if window_len == 0 {
+            return Err(DspError::InvalidParameter {
+                name: "window_len",
+                message: "must be positive".into(),
+            });
+        }
+        if hop == 0 || hop > window_len {
+            return Err(DspError::InvalidParameter {
+                name: "hop",
+                message: format!("must be in 1..={window_len}"),
+            });
+        }
+        if !(fs > 0.0) {
+            return Err(DspError::InvalidParameter {
+                name: "fs",
+                message: "sample rate must be positive".into(),
+            });
+        }
+        Ok(StftConfig { window_len, hop, fs, kind })
+    }
+
+    /// Analysis window length in samples.
+    pub fn window_len(&self) -> usize {
+        self.window_len
+    }
+
+    /// Hop (stride) between frames in samples.
+    pub fn hop(&self) -> usize {
+        self.hop
+    }
+
+    /// Sample rate of the time-domain signal, in Hz.
+    pub fn fs(&self) -> f64 {
+        self.fs
+    }
+
+    /// Window shape.
+    pub fn window_kind(&self) -> WindowKind {
+        self.kind
+    }
+
+    /// Number of non-redundant frequency bins (`window_len/2 + 1`).
+    pub fn bins(&self) -> usize {
+        self.window_len / 2 + 1
+    }
+
+    /// Frequency resolution: Hz per bin.
+    pub fn hz_per_bin(&self) -> f64 {
+        self.fs / self.window_len as f64
+    }
+
+    /// Centre frequency of bin `k` in Hz.
+    pub fn bin_frequency(&self, k: usize) -> f64 {
+        k as f64 * self.hz_per_bin()
+    }
+
+    /// Bin index closest to frequency `hz` (clamped to the valid range).
+    pub fn frequency_to_bin(&self, hz: f64) -> usize {
+        let k = (hz / self.hz_per_bin()).round();
+        (k.max(0.0) as usize).min(self.bins() - 1)
+    }
+
+    /// Start time (seconds) of frame `m`.
+    pub fn frame_time(&self, m: usize) -> f64 {
+        (m * self.hop) as f64 / self.fs
+    }
+
+    /// Number of frames produced for a signal of `n` samples.
+    pub fn frames_for(&self, n: usize) -> usize {
+        if n < self.window_len {
+            0
+        } else {
+            (n - self.window_len) / self.hop + 1
+        }
+    }
+
+    /// Maximum relative COLA deviation of this window/hop pair; near zero
+    /// means exact interior reconstruction through [`istft`].
+    pub fn cola_deviation(&self) -> f64 {
+        cola_deviation(&self.kind.samples(self.window_len), self.hop)
+    }
+}
+
+/// A complex spectrogram: `bins × frames` STFT coefficients plus the
+/// configuration that produced it.
+///
+/// Data is stored bin-major (`data[bin * frames + frame]`), matching the
+/// `[freq, time]` layout used by the neural in-painting stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrogram {
+    config: StftConfig,
+    bins: usize,
+    frames: usize,
+    data: Vec<Complex>,
+    /// Original signal length, kept so the inverse can trim padding.
+    signal_len: usize,
+}
+
+impl Spectrogram {
+    /// Builds a spectrogram from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != bins * frames` or `bins != config.bins()`.
+    pub fn from_parts(
+        config: StftConfig,
+        frames: usize,
+        data: Vec<Complex>,
+        signal_len: usize,
+    ) -> Self {
+        let bins = config.bins();
+        assert_eq!(data.len(), bins * frames, "data length mismatch");
+        Spectrogram { config, bins, frames, data, signal_len }
+    }
+
+    /// The analysis configuration.
+    pub fn config(&self) -> &StftConfig {
+        &self.config
+    }
+
+    /// Number of frequency bins.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Number of time frames.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Length of the analyzed signal in samples.
+    pub fn signal_len(&self) -> usize {
+        self.signal_len
+    }
+
+    /// Complex coefficient at (`bin`, `frame`).
+    #[inline]
+    pub fn at(&self, bin: usize, frame: usize) -> Complex {
+        self.data[bin * self.frames + frame]
+    }
+
+    /// Mutable access to the coefficient at (`bin`, `frame`).
+    #[inline]
+    pub fn at_mut(&mut self, bin: usize, frame: usize) -> &mut Complex {
+        &mut self.data[bin * self.frames + frame]
+    }
+
+    /// Borrow of the underlying bin-major coefficient buffer.
+    pub fn data(&self) -> &[Complex] {
+        &self.data
+    }
+
+    /// Mutable borrow of the underlying bin-major coefficient buffer.
+    pub fn data_mut(&mut self) -> &mut [Complex] {
+        &mut self.data
+    }
+
+    /// Magnitude image, bin-major (`bins × frames`).
+    pub fn magnitude(&self) -> Vec<f64> {
+        self.data.iter().map(|c| c.abs()).collect()
+    }
+
+    /// Phase image in radians, bin-major.
+    pub fn phase(&self) -> Vec<f64> {
+        self.data.iter().map(|c| c.arg()).collect()
+    }
+
+    /// Total energy `Σ|X|²` of the spectrogram.
+    pub fn energy(&self) -> f64 {
+        self.data.iter().map(|c| c.norm_sqr()).sum()
+    }
+
+    /// Replaces magnitude while keeping each coefficient's phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `magnitude.len() != bins * frames`.
+    pub fn with_magnitude(&self, magnitude: &[f64]) -> Spectrogram {
+        assert_eq!(magnitude.len(), self.data.len(), "magnitude size mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(magnitude)
+            .map(|(c, &m)| {
+                let a = c.abs();
+                if a < 1e-30 {
+                    Complex::from_real(m)
+                } else {
+                    c.scale(m / a)
+                }
+            })
+            .collect();
+        Spectrogram { data, ..self.clone() }
+    }
+
+    /// Builds a complex spectrogram from separate magnitude and phase images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if image sizes disagree with this spectrogram's shape.
+    pub fn with_magnitude_phase(&self, magnitude: &[f64], phase: &[f64]) -> Spectrogram {
+        assert_eq!(magnitude.len(), self.data.len());
+        assert_eq!(phase.len(), self.data.len());
+        let data = magnitude
+            .iter()
+            .zip(phase)
+            .map(|(&m, &p)| Complex::from_polar(m, p))
+            .collect();
+        Spectrogram { data, ..self.clone() }
+    }
+
+    /// Applies a real-valued gain mask elementwise (bin-major layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != bins * frames`.
+    pub fn apply_mask(&self, mask: &[f64]) -> Spectrogram {
+        assert_eq!(mask.len(), self.data.len(), "mask size mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(mask)
+            .map(|(c, &m)| c.scale(m))
+            .collect();
+        Spectrogram { data, ..self.clone() }
+    }
+}
+
+/// Computes the STFT of `signal`.
+///
+/// Frames start at multiples of the hop; no centre padding is applied, so
+/// frame `m` covers samples `[m·hop, m·hop + window_len)`.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] if the signal is shorter than one
+/// window.
+pub fn stft(signal: &[f64], config: &StftConfig) -> Result<Spectrogram> {
+    let w = config.window_len();
+    if signal.len() < w {
+        return Err(DspError::InvalidParameter {
+            name: "signal",
+            message: format!("needs at least {w} samples, got {}", signal.len()),
+        });
+    }
+    let frames = config.frames_for(signal.len());
+    let bins = config.bins();
+    let window = config.window_kind().samples(w);
+    let mut data = vec![Complex::ZERO; bins * frames];
+    let mut buf = vec![0.0f64; w];
+    for m in 0..frames {
+        let start = m * config.hop();
+        for i in 0..w {
+            buf[i] = signal[start + i] * window[i];
+        }
+        let spec = fft_real(&buf);
+        for (k, &c) in spec.iter().enumerate() {
+            data[k * frames + m] = c;
+        }
+    }
+    Ok(Spectrogram { config: *config, bins, frames, data, signal_len: signal.len() })
+}
+
+/// Inverse STFT by weighted overlap-add.
+///
+/// Uses the analysis window for synthesis and normalizes by the squared
+/// window overlap, which makes the inverse exact in the interior for COLA
+/// window/hop pairs and least-squares optimal after spectrogram
+/// modification. The output is trimmed/padded to `spec.signal_len()`.
+pub fn istft(spec: &Spectrogram) -> Vec<f64> {
+    let config = spec.config();
+    let w = config.window_len();
+    let hop = config.hop();
+    let frames = spec.frames();
+    let n = if frames == 0 { 0 } else { (frames - 1) * hop + w };
+    let window = config.window_kind().samples(w);
+
+    let mut out = vec![0.0f64; n];
+    let mut norm = vec![0.0f64; n];
+    let mut half = vec![Complex::ZERO; spec.bins()];
+    for m in 0..frames {
+        for k in 0..spec.bins() {
+            half[k] = spec.at(k, m);
+        }
+        let frame = ifft_real(&half, w);
+        let start = m * hop;
+        for i in 0..w {
+            out[start + i] += frame[i] * window[i];
+            norm[start + i] += window[i] * window[i];
+        }
+    }
+    // Normalize by the squared-window overlap. Near the edges the overlap
+    // sum decays to ~0; for *modified* spectrograms the numerator no
+    // longer tapers to match, so an unguarded division would blow up the
+    // boundary samples (and, in iterative pipelines, cascade). A relative
+    // floor keeps the interior exact and merely tapers the edges.
+    let norm_peak = norm.iter().cloned().fold(0.0f64, f64::max);
+    let floor = 0.25 * norm_peak;
+    for i in 0..n {
+        if norm[i] > 1e-12 {
+            out[i] /= norm[i].max(floor);
+        }
+    }
+    out.resize(spec.signal_len(), 0.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chirp(n: usize, fs: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                (2.0 * std::f64::consts::PI * (2.0 * t + 0.05 * t * t)).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn config_validates_parameters() {
+        assert!(StftConfig::new(0, 1, 1.0).is_err());
+        assert!(StftConfig::new(64, 0, 1.0).is_err());
+        assert!(StftConfig::new(64, 65, 1.0).is_err());
+        assert!(StftConfig::new(64, 16, -1.0).is_err());
+        assert!(StftConfig::new(64, 16, 16.0).is_ok());
+    }
+
+    #[test]
+    fn stft_shape_matches_config() {
+        let cfg = StftConfig::new(128, 32, 16.0).unwrap();
+        let x = chirp(1024, 16.0);
+        let s = stft(&x, &cfg).unwrap();
+        assert_eq!(s.bins(), 65);
+        assert_eq!(s.frames(), (1024 - 128) / 32 + 1);
+        assert_eq!(s.signal_len(), 1024);
+    }
+
+    #[test]
+    fn stft_too_short_signal_errors() {
+        let cfg = StftConfig::new(128, 32, 16.0).unwrap();
+        assert!(stft(&[0.0; 64], &cfg).is_err());
+    }
+
+    #[test]
+    fn istft_reconstructs_interior_exactly() {
+        let fs = 100.0;
+        let cfg = StftConfig::new(256, 64, fs).unwrap();
+        assert!(cfg.cola_deviation() < 1e-12);
+        let x = chirp(2048, fs);
+        let s = stft(&x, &cfg).unwrap();
+        let y = istft(&s);
+        assert_eq!(y.len(), x.len());
+        // Interior (skip one window at each end): exact reconstruction.
+        for i in 256..(2048 - 256) {
+            assert!((x[i] - y[i]).abs() < 1e-9, "sample {i}: {} vs {}", x[i], y[i]);
+        }
+    }
+
+    #[test]
+    fn tone_lands_in_expected_bin() {
+        let fs = 64.0;
+        let cfg = StftConfig::new(128, 32, fs).unwrap();
+        let f0 = 8.0;
+        let x: Vec<f64> = (0..1024)
+            .map(|i| (2.0 * std::f64::consts::PI * f0 * i as f64 / fs).sin())
+            .collect();
+        let s = stft(&x, &cfg).unwrap();
+        let target_bin = cfg.frequency_to_bin(f0);
+        assert_eq!(target_bin, 16);
+        for m in 0..s.frames() {
+            let mags: Vec<f64> = (0..s.bins()).map(|k| s.at(k, m).abs()).collect();
+            let peak = mags
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            assert_eq!(peak, target_bin);
+        }
+    }
+
+    #[test]
+    fn magnitude_phase_round_trip() {
+        let cfg = StftConfig::new(64, 16, 16.0).unwrap();
+        let x = chirp(512, 16.0);
+        let s = stft(&x, &cfg).unwrap();
+        let rebuilt = s.with_magnitude_phase(&s.magnitude(), &s.phase());
+        for (a, b) in s.data().iter().zip(rebuilt.data()) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn apply_mask_zeroes_selected_bins() {
+        let cfg = StftConfig::new(64, 16, 16.0).unwrap();
+        let x = chirp(512, 16.0);
+        let s = stft(&x, &cfg).unwrap();
+        let mut mask = vec![1.0; s.bins() * s.frames()];
+        for m in 0..s.frames() {
+            mask[3 * s.frames() + m] = 0.0;
+        }
+        let masked = s.apply_mask(&mask);
+        for m in 0..s.frames() {
+            assert_eq!(masked.at(3, m), Complex::ZERO);
+            assert_eq!(masked.at(4, m), s.at(4, m));
+        }
+    }
+
+    #[test]
+    fn frequency_bin_round_trip() {
+        let cfg = StftConfig::new(128, 32, 16.0).unwrap();
+        for k in 0..cfg.bins() {
+            assert_eq!(cfg.frequency_to_bin(cfg.bin_frequency(k)), k);
+        }
+    }
+
+    #[test]
+    fn energy_is_nonnegative_and_additive_in_masking() {
+        let cfg = StftConfig::new(64, 16, 16.0).unwrap();
+        let x = chirp(512, 16.0);
+        let s = stft(&x, &cfg).unwrap();
+        let full = s.energy();
+        let half_mask: Vec<f64> = (0..s.bins() * s.frames())
+            .map(|i| if i % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        let inv_mask: Vec<f64> = half_mask.iter().map(|&m| 1.0 - m).collect();
+        let e1 = s.apply_mask(&half_mask).energy();
+        let e2 = s.apply_mask(&inv_mask).energy();
+        assert!((e1 + e2 - full).abs() < 1e-6 * full.max(1.0));
+    }
+}

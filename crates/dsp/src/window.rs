@@ -1,0 +1,131 @@
+//! Window functions for short-time analysis.
+
+/// Supported window shapes.
+///
+/// # Example
+///
+/// ```
+/// use dhf_dsp::window::WindowKind;
+/// let w = WindowKind::Hann.samples(8);
+/// assert_eq!(w.len(), 8);
+/// assert!(w[0] < 1e-12); // periodic Hann starts at zero
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WindowKind {
+    /// Rectangular (all ones).
+    Rectangular,
+    /// Periodic Hann window, COLA at hop = N/2, N/4, ...
+    #[default]
+    Hann,
+    /// Periodic Hamming window.
+    Hamming,
+    /// Blackman window.
+    Blackman,
+}
+
+impl WindowKind {
+    /// Generates `n` window samples (periodic convention, suitable for STFT).
+    pub fn samples(self, n: usize) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let nf = n as f64;
+        let tau = 2.0 * std::f64::consts::PI;
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / nf;
+                match self {
+                    WindowKind::Rectangular => 1.0,
+                    WindowKind::Hann => 0.5 - 0.5 * (tau * x).cos(),
+                    WindowKind::Hamming => 0.54 - 0.46 * (tau * x).cos(),
+                    WindowKind::Blackman => {
+                        0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos()
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Sum of the window samples (useful for amplitude normalization).
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        self.samples(n).iter().sum()
+    }
+}
+
+/// Checks the constant-overlap-add (COLA) property of `window` at hop `hop`:
+/// `Σ_m w[n - m·hop]` must be constant for all `n`.
+///
+/// Returns the maximum relative deviation from the mean overlap sum; values
+/// below ~1e-12 mean the pair reconstructs perfectly in overlap-add ISTFT.
+pub fn cola_deviation(window: &[f64], hop: usize) -> f64 {
+    let n = window.len();
+    if n == 0 || hop == 0 {
+        return f64::INFINITY;
+    }
+    // Accumulate the periodic overlap sum over one hop period.
+    let mut acc = vec![0.0f64; hop];
+    for (i, &w) in window.iter().enumerate() {
+        acc[i % hop] += w;
+    }
+    let mean = acc.iter().sum::<f64>() / hop as f64;
+    if mean.abs() < f64::EPSILON {
+        return f64::INFINITY;
+    }
+    acc.iter()
+        .map(|&v| ((v - mean) / mean).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hann_is_cola_at_half_and_quarter_hop() {
+        let w = WindowKind::Hann.samples(128);
+        assert!(cola_deviation(&w, 64) < 1e-12);
+        assert!(cola_deviation(&w, 32) < 1e-12);
+    }
+
+    #[test]
+    fn rectangular_is_cola_at_full_hop() {
+        let w = WindowKind::Rectangular.samples(64);
+        assert!(cola_deviation(&w, 64) < 1e-12);
+        assert!(cola_deviation(&w, 32) < 1e-12);
+    }
+
+    #[test]
+    fn hann_peak_is_one_and_symmetric() {
+        let w = WindowKind::Hann.samples(64);
+        let peak = w.iter().cloned().fold(0.0, f64::max);
+        assert!((peak - 1.0).abs() < 1e-3);
+        for i in 1..32 {
+            assert!((w[i] - w[64 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn window_kinds_have_expected_means() {
+        // Coherent gain sanity: Hann mean 0.5, Hamming 0.54, Blackman 0.42.
+        let n = 1024;
+        for (kind, mean) in [
+            (WindowKind::Hann, 0.5),
+            (WindowKind::Hamming, 0.54),
+            (WindowKind::Blackman, 0.42),
+        ] {
+            let g = kind.coherent_gain(n) / n as f64;
+            assert!((g - mean).abs() < 1e-6, "{kind:?}: {g}");
+        }
+    }
+
+    #[test]
+    fn zero_length_window_is_empty() {
+        assert!(WindowKind::Hann.samples(0).is_empty());
+    }
+
+    #[test]
+    fn blackman_is_not_cola_at_half_hop() {
+        let w = WindowKind::Blackman.samples(128);
+        assert!(cola_deviation(&w, 64) > 1e-6);
+    }
+}

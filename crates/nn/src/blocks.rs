@@ -1,0 +1,134 @@
+//! Reusable graph-building blocks: convolution + instance norm + activation.
+
+use dhf_tensor::{init, Graph, Tensor, VarId};
+use rand::Rng;
+
+/// Convolution flavour used inside the U-Net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvKind {
+    /// Conventional same-padded 2-D convolution.
+    Standard {
+        /// Kernel extent along frequency (odd).
+        kf: usize,
+        /// Kernel extent along time (odd).
+        kt: usize,
+        /// Dilation along frequency.
+        dil_f: usize,
+        /// Dilation along time.
+        dil_t: usize,
+    },
+    /// Dilated harmonic convolution (paper Eq. 8).
+    Harmonic {
+        /// Number of harmonics `H` reached in frequency.
+        harmonics: usize,
+        /// Kernel extent along time (odd).
+        kt: usize,
+        /// Anchor `n` of Eq. 2 (1 = spectrally accurate).
+        anchor: usize,
+        /// Dilation along time.
+        dil_t: usize,
+    },
+}
+
+impl ConvKind {
+    /// Weight-tensor shape for `in_ch → out_ch`.
+    pub fn weight_shape(&self, in_ch: usize, out_ch: usize) -> Vec<usize> {
+        match *self {
+            ConvKind::Standard { kf, kt, .. } => vec![out_ch, in_ch, kf, kt],
+            ConvKind::Harmonic { harmonics, kt, .. } => vec![out_ch, in_ch, harmonics, kt],
+        }
+    }
+
+    /// Appends the convolution node for input `x` with a fresh weight.
+    pub fn build<R: Rng>(
+        &self,
+        g: &mut Graph,
+        x: VarId,
+        in_ch: usize,
+        out_ch: usize,
+        rng: &mut R,
+    ) -> VarId {
+        let w = g.param(init::kaiming_uniform(&self.weight_shape(in_ch, out_ch), rng));
+        match *self {
+            ConvKind::Standard { dil_f, dil_t, .. } => g.conv2d(x, w, dil_f, dil_t),
+            ConvKind::Harmonic { anchor, dil_t, .. } => g.harmonic_conv(x, w, anchor, dil_t),
+        }
+    }
+}
+
+/// Appends `conv → bias → instance-norm → leaky-ReLU` and returns the
+/// activated output.
+pub fn conv_block<R: Rng>(
+    g: &mut Graph,
+    x: VarId,
+    in_ch: usize,
+    out_ch: usize,
+    kind: &ConvKind,
+    relu_slope: f32,
+    rng: &mut R,
+) -> VarId {
+    let conv = kind.build(g, x, in_ch, out_ch, rng);
+    let bias = g.param(Tensor::zeros(&[out_ch]));
+    let biased = g.add_bias(conv, bias);
+    let (gamma, beta) = init::norm_affine(out_ch);
+    let gamma = g.param(gamma);
+    let beta = g.param(beta);
+    let normed = g.instance_norm(biased, gamma, beta);
+    g.leaky_relu(normed, relu_slope)
+}
+
+/// Appends a 1×1 standard convolution used as the output projection.
+///
+/// `bias_init` sets the projection bias; with a sigmoid output head a
+/// negative value (e.g. −3) starts the image near the background level so
+/// the untrained prior does not flood hidden cells with mid-gray energy —
+/// essential when the optimizer budget is small.
+pub fn project_out<R: Rng>(
+    g: &mut Graph,
+    x: VarId,
+    in_ch: usize,
+    out_ch: usize,
+    bias_init: f32,
+    rng: &mut R,
+) -> VarId {
+    let w = g.param(init::kaiming_uniform(&[out_ch, in_ch, 1, 1], rng));
+    let conv = g.conv2d(x, w, 1, 1);
+    let bias = g.param(Tensor::filled(&[out_ch], bias_init));
+    g.add_bias(conv, bias)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weight_shapes_per_kind() {
+        let std = ConvKind::Standard { kf: 3, kt: 5, dil_f: 1, dil_t: 1 };
+        assert_eq!(std.weight_shape(4, 8), vec![8, 4, 3, 5]);
+        let harm = ConvKind::Harmonic { harmonics: 6, kt: 3, anchor: 1, dil_t: 2 };
+        assert_eq!(harm.weight_shape(2, 3), vec![3, 2, 6, 3]);
+    }
+
+    #[test]
+    fn conv_block_produces_expected_shape() {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = g.input(Tensor::rand_normal(&[2, 8, 6], 1.0, &mut rng));
+        let kind = ConvKind::Harmonic { harmonics: 3, kt: 3, anchor: 1, dil_t: 1 };
+        let y = conv_block(&mut g, x, 2, 5, &kind, 0.1, &mut rng);
+        assert_eq!(g.value(y).shape(), &[5, 8, 6]);
+        // Trainable params: weight + bias + gamma + beta.
+        assert_eq!(g.params().len(), 4);
+    }
+
+    #[test]
+    fn project_out_collapses_channels() {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = g.input(Tensor::rand_normal(&[6, 4, 4], 1.0, &mut rng));
+        let y = project_out(&mut g, x, 6, 1, 0.0, &mut rng);
+        assert_eq!(g.value(y).shape(), &[1, 4, 4]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Network hyper-parameters.
+
+use crate::blocks::ConvKind;
+
+/// Activation applied to the network's single output channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputActivation {
+    /// Logistic sigmoid — appropriate when magnitudes are pre-normalized
+    /// into `[0, 1]` (the DHF pipeline default).
+    #[default]
+    Sigmoid,
+    /// Leaky ReLU with slope 0.01 — outputs unbounded non-negative-ish
+    /// magnitudes.
+    LeakyRelu,
+    /// No output activation.
+    Linear,
+}
+
+/// Hyper-parameters of [`DeepPriorNet`].
+///
+/// The defaults reproduce the paper's SpAc LU-Net: harmonic convolutions
+/// with anchor 1, no frequency pooling, and a large time dilation that
+/// matches the constant-frequency patterns created by pattern alignment
+/// (the paper uses 13 or 15 depending on the masking situation, §4.2).
+///
+/// [`DeepPriorNet`]: crate::DeepPriorNet
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetConfig {
+    /// Channels of the noise input code `z`.
+    pub in_channels: usize,
+    /// Channel count of the first encoder level; each level doubles it.
+    pub base_channels: usize,
+    /// Number of time-pooling levels (the "Light" U-Net is shallow).
+    pub depth: usize,
+    /// Convolution flavour for all hidden layers.
+    pub conv: ConvKind,
+    /// Frequency max-pooling factor per level — **must stay `None` for the
+    /// SpAc design**; `Some(2)` reproduces the Zhang-baseline ablation.
+    pub freq_pool: Option<usize>,
+    /// Output activation.
+    pub output: OutputActivation,
+    /// Negative slope of the hidden leaky ReLUs.
+    pub relu_slope: f32,
+    /// Standard deviation of the fixed noise input `z`.
+    pub z_std: f32,
+    /// Initial bias of the output projection. With a sigmoid head this
+    /// sets the untrained image level: `σ(output_bias)` should sit near
+    /// the *background* magnitude of the (normalized) target so hidden
+    /// cells start dark instead of mid-gray. The DHF in-painter overrides
+    /// it per round from the visible-cell statistics.
+    pub output_bias: f32,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            in_channels: 2,
+            base_channels: 8,
+            depth: 2,
+            conv: ConvKind::Harmonic { harmonics: 4, kt: 3, anchor: 1, dil_t: 13 },
+            freq_pool: None,
+            output: OutputActivation::Sigmoid,
+            relu_slope: 0.1,
+            z_std: 0.1,
+            output_bias: -3.0,
+        }
+    }
+}
+
+impl NetConfig {
+    /// The paper's SpAc LU-Net with an explicit time dilation (13 or 15 in
+    /// the paper, chosen per masking situation).
+    pub fn spac(time_dilation: usize) -> Self {
+        NetConfig {
+            conv: ConvKind::Harmonic { harmonics: 4, kt: 3, anchor: 1, dil_t: time_dilation },
+            ..NetConfig::default()
+        }
+    }
+
+    /// Time extent divisor required by the pooling schedule.
+    pub fn time_divisor(&self) -> usize {
+        1 << self.depth
+    }
+
+    /// Frequency extent divisor required by the pooling schedule.
+    pub fn freq_divisor(&self) -> usize {
+        match self.freq_pool {
+            Some(f) => f.pow(self.depth as u32),
+            None => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_spectrally_accurate() {
+        let cfg = NetConfig::default();
+        assert!(cfg.freq_pool.is_none());
+        match cfg.conv {
+            ConvKind::Harmonic { anchor, .. } => assert_eq!(anchor, 1),
+            _ => panic!("default must use harmonic convolutions"),
+        }
+    }
+
+    #[test]
+    fn divisors_follow_depth() {
+        let cfg = NetConfig { depth: 3, freq_pool: Some(2), ..NetConfig::default() };
+        assert_eq!(cfg.time_divisor(), 8);
+        assert_eq!(cfg.freq_divisor(), 8);
+        let spac = NetConfig::default();
+        assert_eq!(spac.freq_divisor(), 1);
+    }
+
+    #[test]
+    fn spac_constructor_sets_dilation() {
+        let cfg = NetConfig::spac(15);
+        match cfg.conv {
+            ConvKind::Harmonic { dil_t, .. } => assert_eq!(dil_t, 15),
+            _ => panic!(),
+        }
+    }
+}

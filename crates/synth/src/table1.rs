@@ -1,0 +1,313 @@
+//! The five synthesized mixed signals of the paper's Table 1.
+//!
+//! Each mixed signal combines 2–3 quasi-periodic sources (maternal
+//! pulsation, fetal pulsation, and — for signals 4 and 5 — respiration)
+//! with Gaussian noise at 100 Hz. The per-source amplitude statistics and
+//! frequency ranges are transcribed verbatim from Table 1; the paper's
+//! qualitative descriptions hold by construction:
+//!
+//! * MSig1 — interference on the *second* harmonic of the target source;
+//! * MSig2 — interference on the *first* harmonic (overlapping bands);
+//! * MSig3 — second source below ×0.1 of the dominant amplitude;
+//! * MSig4/5 — three sources with low-power third sources.
+
+use crate::schedule::PeriodSchedule;
+use crate::source::{add_noise, QuasiPeriodicSource, SourceSignal};
+use crate::templates::Template;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Sampling rate of the synthesized dataset (Hz), per §4.1.
+pub const FS: f64 = 100.0;
+
+/// Default duration of each mixed signal in seconds.
+///
+/// The paper does not state the record length; two minutes gives every
+/// source well over 60 quasi-periods, enough for the 60 s / 15 s
+/// spectrogram of §4.2 while keeping the benches tractable.
+pub const DURATION_S: f64 = 120.0;
+
+/// Physiological role of a source (decides the waveform template).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SourceRole {
+    /// Maternal or fetal pulsation (PPG beat template).
+    Pulsation,
+    /// Respiration effort (respiration template).
+    Respiration,
+}
+
+/// Declarative description of one source, as in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SourceSpec {
+    /// Physiological role.
+    pub role: SourceRole,
+    /// Mean of the per-period amplitude distribution (`mean(A)`).
+    pub amp_mean: f64,
+    /// Standard deviation of the per-period amplitude (`std(A)`).
+    pub amp_std: f64,
+    /// Lower bound of the fundamental frequency (Hz).
+    pub f_min: f64,
+    /// Upper bound of the fundamental frequency (Hz).
+    pub f_max: f64,
+}
+
+/// Declarative description of one mixed signal, as in one Table 1 column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixSpec {
+    /// 1-based index (matches "Syn. MSig&lt;n&gt;").
+    pub index: usize,
+    /// Source descriptions, strongest first.
+    pub sources: Vec<SourceSpec>,
+    /// Standard deviation of the additive Gaussian noise.
+    pub noise_std: f64,
+}
+
+/// A rendered mixed signal with per-source ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedSignal {
+    /// The spec that generated this signal.
+    pub spec: MixSpec,
+    /// Sampling rate (Hz).
+    pub fs: f64,
+    /// The mixed (observed) signal.
+    pub samples: Vec<f64>,
+    /// Ground-truth rendered sources, same order as `spec.sources`.
+    pub sources: Vec<SourceSignal>,
+}
+
+impl MixedSignal {
+    /// Ground-truth fundamental-frequency tracks, one per source.
+    pub fn f0_tracks(&self) -> Vec<Vec<f64>> {
+        self.sources.iter().map(|s| s.f0.clone()).collect()
+    }
+
+    /// Number of sources in the mix.
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+}
+
+/// The Table 1 specification for mixed signal `index` (1–5).
+///
+/// # Panics
+///
+/// Panics if `index` is not in `1..=5`.
+pub fn spec(index: usize) -> MixSpec {
+    let p = |amp_mean, amp_std, f_min, f_max| SourceSpec {
+        role: SourceRole::Pulsation,
+        amp_mean,
+        amp_std,
+        f_min,
+        f_max,
+    };
+    let r = |amp_mean, amp_std, f_min, f_max| SourceSpec {
+        role: SourceRole::Respiration,
+        amp_mean,
+        amp_std,
+        f_min,
+        f_max,
+    };
+    match index {
+        1 => MixSpec {
+            index,
+            sources: vec![p(0.08, 0.02, 0.9, 1.7), p(0.03, 0.01, 1.8, 3.0)],
+            noise_std: 0.003,
+        },
+        2 => MixSpec {
+            index,
+            sources: vec![p(0.08, 0.01, 0.8, 1.2), p(0.06, 0.02, 1.0, 2.1)],
+            noise_std: 0.01,
+        },
+        3 => MixSpec {
+            index,
+            sources: vec![p(0.4, 0.1, 1.4, 2.3), p(0.03, 0.01, 1.6, 3.0)],
+            noise_std: 0.04,
+        },
+        4 => MixSpec {
+            index,
+            sources: vec![
+                r(0.74, 0.1, 0.5, 0.9),
+                p(0.08, 0.01, 1.1, 1.8),
+                p(0.06, 0.01, 1.8, 2.9),
+            ],
+            noise_std: 0.01,
+        },
+        5 => MixSpec {
+            index,
+            sources: vec![
+                r(0.6, 0.2, 0.5, 0.9),
+                p(0.07, 0.01, 1.0, 2.0),
+                p(0.04, 0.01, 2.1, 3.5),
+            ],
+            noise_std: 0.001,
+        },
+        _ => panic!("Table 1 defines mixed signals 1..=5, got {index}"),
+    }
+}
+
+/// All five Table 1 specifications.
+pub fn all_specs() -> Vec<MixSpec> {
+    (1..=5).map(spec).collect()
+}
+
+/// Renders mixed signal `index` (1–5) with the default duration.
+///
+/// The `seed` controls every random choice (schedules, amplitudes,
+/// noise), so a given `(index, seed)` pair is fully reproducible.
+///
+/// # Panics
+///
+/// Panics if `index` is not in `1..=5`.
+pub fn mixed_signal(index: usize, seed: u64) -> MixedSignal {
+    mixed_signal_with_duration(index, seed, DURATION_S)
+}
+
+/// Renders mixed signal `index` with an explicit duration in seconds.
+///
+/// # Panics
+///
+/// Panics if `index` is not in `1..=5` or `duration_s <= 0`.
+pub fn mixed_signal_with_duration(index: usize, seed: u64, duration_s: f64) -> MixedSignal {
+    assert!(duration_s > 0.0, "duration must be positive");
+    let spec = spec(index);
+    render(&spec, seed, duration_s)
+}
+
+/// Renders an arbitrary [`MixSpec`].
+pub fn render(spec: &MixSpec, seed: u64, duration_s: f64) -> MixedSignal {
+    let n = (duration_s * FS) as usize;
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ spec.index as u64);
+    let mut sources = Vec::with_capacity(spec.sources.len());
+    let mut mixed = vec![0.0f64; n];
+    for s in &spec.sources {
+        let template = match s.role {
+            SourceRole::Pulsation => Template::Ppg,
+            SourceRole::Respiration => Template::Respiration,
+        };
+        let schedule = PeriodSchedule::random(
+            duration_s + 2.0,
+            s.f_min,
+            s.f_max,
+            s.amp_mean,
+            s.amp_std,
+            &mut rng,
+        );
+        let rendered = QuasiPeriodicSource::new(template, schedule).render(FS, n);
+        for (m, &v) in mixed.iter_mut().zip(&rendered.samples) {
+            *m += v;
+        }
+        sources.push(rendered);
+    }
+    add_noise(&mut mixed, spec.noise_std, &mut rng);
+    MixedSignal { spec: spec.clone(), fs: FS, samples: mixed, sources }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhf_dsp::stats::{rms, std_dev};
+
+    #[test]
+    fn specs_match_table_one() {
+        let s1 = spec(1);
+        assert_eq!(s1.sources.len(), 2);
+        assert_eq!(s1.sources[0].amp_mean, 0.08);
+        assert_eq!(s1.sources[1].f_max, 3.0);
+        assert_eq!(s1.noise_std, 0.003);
+        let s4 = spec(4);
+        assert_eq!(s4.sources.len(), 3);
+        assert_eq!(s4.sources[0].role, SourceRole::Respiration);
+        assert_eq!(s4.sources[0].amp_mean, 0.74);
+        assert_eq!(s4.sources[2].f_min, 1.8);
+        let s5 = spec(5);
+        assert_eq!(s5.noise_std, 0.001);
+        assert_eq!(s5.sources[2].f_max, 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=5")]
+    fn spec_rejects_out_of_range() {
+        let _ = spec(6);
+    }
+
+    #[test]
+    fn msig1_interferes_on_second_harmonic() {
+        // Source 1 spans 0.9–1.7 Hz so its 2nd harmonic spans 1.8–3.4 Hz,
+        // exactly source 2's fundamental band — as the paper states.
+        let s = spec(1);
+        assert!(s.sources[0].f_min * 2.0 <= s.sources[1].f_max);
+        assert!(s.sources[0].f_max * 2.0 >= s.sources[1].f_min);
+    }
+
+    #[test]
+    fn msig2_interferes_on_first_harmonic() {
+        let s = spec(2);
+        // Fundamental bands themselves overlap.
+        assert!(s.sources[0].f_max >= s.sources[1].f_min);
+    }
+
+    #[test]
+    fn low_power_sources_are_below_tenth_of_dominant() {
+        for (idx, weak) in [(3usize, 1usize), (4, 2), (5, 2)] {
+            let s = spec(idx);
+            assert!(
+                s.sources[weak].amp_mean < 0.1 * s.sources[0].amp_mean + 1e-12,
+                "MSig{idx} source{} not low-power",
+                weak + 1
+            );
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic_per_seed() {
+        let a = mixed_signal_with_duration(1, 42, 20.0);
+        let b = mixed_signal_with_duration(1, 42, 20.0);
+        assert_eq!(a.samples, b.samples);
+        let c = mixed_signal_with_duration(1, 43, 20.0);
+        assert_ne!(a.samples, c.samples);
+    }
+
+    #[test]
+    fn mix_is_sum_of_sources_plus_noise() {
+        let m = mixed_signal_with_duration(2, 7, 20.0);
+        let sum: Vec<f64> = (0..m.samples.len())
+            .map(|i| m.sources.iter().map(|s| s.samples[i]).sum::<f64>())
+            .collect();
+        let residual: Vec<f64> =
+            m.samples.iter().zip(&sum).map(|(a, b)| a - b).collect();
+        // Residual is exactly the additive noise.
+        assert!((std_dev(&residual) - m.spec.noise_std).abs() < 0.2 * m.spec.noise_std + 1e-4);
+    }
+
+    #[test]
+    fn realized_amplitudes_track_spec() {
+        let m = mixed_signal_with_duration(3, 11, 60.0);
+        // Dominant source RMS should dwarf the weak one's (≈ 13:1 amp).
+        let r0 = rms(&m.sources[0].samples);
+        let r1 = rms(&m.sources[1].samples);
+        assert!(r0 > 5.0 * r1, "rms ratio {r0}/{r1}");
+    }
+
+    #[test]
+    fn f0_tracks_stay_in_band() {
+        let m = mixed_signal_with_duration(4, 3, 30.0);
+        for (k, (track, src)) in m.f0_tracks().iter().zip(&m.spec.sources).enumerate() {
+            for &f in track.iter() {
+                assert!(
+                    f >= src.f_min - 1e-9 && f <= src.f_max + 1e-9,
+                    "source {k}: f0 {f} outside [{}, {}]",
+                    src.f_min,
+                    src.f_max
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_specs_lists_five() {
+        let all = all_specs();
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[4].index, 5);
+    }
+}

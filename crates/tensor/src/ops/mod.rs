@@ -1,0 +1,13 @@
+//! Operator kernels (forward and backward) used by the autograd [`Graph`].
+//!
+//! Kernels are plain functions over [`Tensor`] buffers so they can be tested
+//! in isolation; the graph layer is responsible for shape bookkeeping and
+//! gradient accumulation order.
+//!
+//! [`Graph`]: crate::Graph
+//! [`Tensor`]: crate::Tensor
+
+pub mod conv;
+pub mod harmonic;
+pub mod norm;
+pub mod pool;

@@ -1,0 +1,169 @@
+//! Instance normalization over `[C,F,T]` images.
+//!
+//! Each channel is normalized by its own spatial mean and variance, then
+//! scaled and shifted by per-channel affine parameters. This is the
+//! normalization used between the deep prior's convolution blocks (batch
+//! size is always one, so batch norm degenerates to instance norm anyway).
+
+use crate::Tensor;
+
+/// Forward instance norm.
+///
+/// `aux` receives `[mean_0, inv_std_0, mean_1, inv_std_1, …]` for the
+/// backward pass.
+///
+/// # Panics
+///
+/// Panics unless `x` is `[C,F,T]` and `gamma`/`beta` are `[C]`.
+pub fn forward(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+    out: &mut Tensor,
+    aux: &mut Vec<f32>,
+) {
+    assert_eq!(x.shape().len(), 3, "instance norm input must be [C,F,T]");
+    let (c, f, t) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    assert_eq!(gamma.shape(), &[c], "gamma must be [C]");
+    assert_eq!(beta.shape(), &[c], "beta must be [C]");
+    let area = (f * t) as f32;
+    let xd = x.data();
+    let od = out.data_mut();
+    aux.clear();
+    aux.resize(2 * c, 0.0);
+    for ci in 0..c {
+        let base = ci * f * t;
+        let slice = &xd[base..base + f * t];
+        let mean = slice.iter().sum::<f32>() / area;
+        let var = slice.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / area;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        aux[2 * ci] = mean;
+        aux[2 * ci + 1] = inv_std;
+        let g = gamma.data()[ci];
+        let b = beta.data()[ci];
+        for (o, &v) in od[base..base + f * t].iter_mut().zip(slice) {
+            *o = g * (v - mean) * inv_std + b;
+        }
+    }
+}
+
+/// Backward instance norm: accumulates gradients for `x`, `gamma`, `beta`.
+#[allow(clippy::too_many_arguments)]
+pub fn backward(
+    x: &Tensor,
+    gamma: &Tensor,
+    grad_out: &Tensor,
+    aux: &[f32],
+    grad_x: &mut Tensor,
+    grad_gamma: &mut Tensor,
+    grad_beta: &mut Tensor,
+) {
+    let (c, f, t) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let area = (f * t) as f32;
+    let xd = x.data();
+    let god = grad_out.data();
+    let gxd = grad_x.data_mut();
+    for ci in 0..c {
+        let base = ci * f * t;
+        let mean = aux[2 * ci];
+        let inv_std = aux[2 * ci + 1];
+        let g = gamma.data()[ci];
+        // Accumulate the three reductions.
+        let mut sum_dy = 0.0f32;
+        let mut sum_dy_xhat = 0.0f32;
+        for i in 0..f * t {
+            let xhat = (xd[base + i] - mean) * inv_std;
+            let dy = god[base + i];
+            sum_dy += dy;
+            sum_dy_xhat += dy * xhat;
+        }
+        grad_beta.data_mut()[ci] += sum_dy;
+        grad_gamma.data_mut()[ci] += sum_dy_xhat;
+        let k1 = sum_dy / area;
+        let k2 = sum_dy_xhat / area;
+        for i in 0..f * t {
+            let xhat = (xd[base + i] - mean) * inv_std;
+            gxd[base + i] += g * inv_std * (god[base + i] - k1 - xhat * k2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_normalizes_each_channel() {
+        let x = Tensor::from_vec(&[2, 1, 4], vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0]);
+        let gamma = Tensor::filled(&[2], 1.0);
+        let beta = Tensor::zeros(&[2]);
+        let mut out = Tensor::zeros(&[2, 1, 4]);
+        let mut aux = Vec::new();
+        forward(&x, &gamma, &beta, 1e-5, &mut out, &mut aux);
+        // Channel 0: zero mean, unit variance.
+        let ch0 = &out.data()[..4];
+        let mean: f32 = ch0.iter().sum::<f32>() / 4.0;
+        let var: f32 = ch0.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-3);
+        // Constant channel stays ~zero (epsilon regularized).
+        assert!(out.data()[4..].iter().all(|&v| v.abs() < 1e-3));
+    }
+
+    #[test]
+    fn affine_parameters_scale_and_shift() {
+        let x = Tensor::from_vec(&[1, 1, 4], vec![1.0, 2.0, 3.0, 4.0]);
+        let gamma = Tensor::filled(&[1], 2.0);
+        let beta = Tensor::filled(&[1], 5.0);
+        let mut out = Tensor::zeros(&[1, 1, 4]);
+        let mut aux = Vec::new();
+        forward(&x, &gamma, &beta, 1e-5, &mut out, &mut aux);
+        let mean: f32 = out.data().iter().sum::<f32>() / 4.0;
+        assert!((mean - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let x = Tensor::from_vec(&[2, 2, 3], (0..12).map(|v| (v as f32 * 0.43).sin()).collect());
+        let gamma = Tensor::from_vec(&[2], vec![1.3, 0.7]);
+        let beta = Tensor::from_vec(&[2], vec![0.1, -0.2]);
+        let eps = 1e-5;
+        let loss = |x: &Tensor, g: &Tensor, b: &Tensor| -> f32 {
+            let mut o = Tensor::zeros(&[2, 2, 3]);
+            let mut aux = Vec::new();
+            forward(x, g, b, eps, &mut o, &mut aux);
+            o.data().iter().enumerate().map(|(i, &v)| v * ((i % 3) as f32 + 1.0)).sum()
+        };
+        let mut go = Tensor::zeros(&[2, 2, 3]);
+        for (i, v) in go.data_mut().iter_mut().enumerate() {
+            *v = (i % 3) as f32 + 1.0;
+        }
+        let mut out = Tensor::zeros(&[2, 2, 3]);
+        let mut aux = Vec::new();
+        forward(&x, &gamma, &beta, eps, &mut out, &mut aux);
+        let mut gx = Tensor::zeros(&[2, 2, 3]);
+        let mut gg = Tensor::zeros(&[2]);
+        let mut gb = Tensor::zeros(&[2]);
+        backward(&x, &gamma, &go, &aux, &mut gx, &mut gg, &mut gb);
+
+        let h = 1e-3f32;
+        let base = loss(&x, &gamma, &beta);
+        for i in 0..12 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += h;
+            let num = (loss(&xp, &gamma, &beta) - base) / h;
+            assert!((num - gx.data()[i]).abs() < 0.05, "gx[{i}]: {num} vs {}", gx.data()[i]);
+        }
+        for i in 0..2 {
+            let mut gp = gamma.clone();
+            gp.data_mut()[i] += h;
+            let num = (loss(&x, &gp, &beta) - base) / h;
+            assert!((num - gg.data()[i]).abs() < 0.05, "gg[{i}]");
+            let mut bp = beta.clone();
+            bp.data_mut()[i] += h;
+            let num = (loss(&x, &gamma, &bp) - base) / h;
+            assert!((num - gb.data()[i]).abs() < 0.05, "gb[{i}]");
+        }
+    }
+}

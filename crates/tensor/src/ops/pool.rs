@@ -1,0 +1,248 @@
+//! Pooling and upsampling kernels.
+//!
+//! The SpAc LU-Net pools **only along time**: the paper forbids pooling in
+//! frequency so every harmonic row keeps its exact position ("no frequency
+//! folding"). Frequency max-pooling is provided solely for the Figure-3
+//! ablation that reproduces the Zhang et al. baseline behaviour.
+
+use crate::Tensor;
+
+/// Average pooling along the time (last) axis by an integer factor.
+///
+/// # Panics
+///
+/// Panics unless the input is `[C,F,T]` with `T` divisible by `factor`.
+pub fn avg_pool_time_forward(x: &Tensor, factor: usize, out: &mut Tensor) {
+    assert_eq!(x.shape().len(), 3, "pool input must be [C,F,T]");
+    assert!(factor >= 1);
+    let (c, f, t) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    assert_eq!(t % factor, 0, "time extent {t} not divisible by pool factor {factor}");
+    let to = t / factor;
+    debug_assert_eq!(out.shape(), &[c, f, to]);
+    let xd = x.data();
+    let od = out.data_mut();
+    let inv = 1.0 / factor as f32;
+    for cf in 0..c * f {
+        let ibase = cf * t;
+        let obase = cf * to;
+        for ot in 0..to {
+            let mut acc = 0.0;
+            for j in 0..factor {
+                acc += xd[ibase + ot * factor + j];
+            }
+            od[obase + ot] = acc * inv;
+        }
+    }
+}
+
+/// Backward of [`avg_pool_time_forward`]: spreads each upstream gradient
+/// uniformly over its window.
+pub fn avg_pool_time_backward(grad_out: &Tensor, factor: usize, grad_x: &mut Tensor) {
+    let (c, f, to) = (grad_out.shape()[0], grad_out.shape()[1], grad_out.shape()[2]);
+    let t = to * factor;
+    debug_assert_eq!(grad_x.shape(), &[c, f, t]);
+    let god = grad_out.data();
+    let gxd = grad_x.data_mut();
+    let inv = 1.0 / factor as f32;
+    for cf in 0..c * f {
+        let ibase = cf * t;
+        let obase = cf * to;
+        for ot in 0..to {
+            let g = god[obase + ot] * inv;
+            for j in 0..factor {
+                gxd[ibase + ot * factor + j] += g;
+            }
+        }
+    }
+}
+
+/// Max pooling along the frequency axis; records flat argmax indices into
+/// `argmax` (same element count as `out`) for the backward pass.
+///
+/// # Panics
+///
+/// Panics unless the input is `[C,F,T]` with `F` divisible by `factor`.
+pub fn max_pool_freq_forward(x: &Tensor, factor: usize, out: &mut Tensor, argmax: &mut Vec<usize>) {
+    assert_eq!(x.shape().len(), 3, "pool input must be [C,F,T]");
+    assert!(factor >= 1);
+    let (c, f, t) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    assert_eq!(f % factor, 0, "freq extent {f} not divisible by pool factor {factor}");
+    let fo = f / factor;
+    debug_assert_eq!(out.shape(), &[c, fo, t]);
+    argmax.clear();
+    argmax.resize(c * fo * t, 0);
+    let xd = x.data();
+    let od = out.data_mut();
+    for ci in 0..c {
+        for ofq in 0..fo {
+            for ti in 0..t {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0usize;
+                for j in 0..factor {
+                    let idx = (ci * f + ofq * factor + j) * t + ti;
+                    if xd[idx] > best {
+                        best = xd[idx];
+                        best_idx = idx;
+                    }
+                }
+                let oidx = (ci * fo + ofq) * t + ti;
+                od[oidx] = best;
+                argmax[oidx] = best_idx;
+            }
+        }
+    }
+}
+
+/// Backward of [`max_pool_freq_forward`]: routes gradients to the argmax.
+pub fn max_pool_freq_backward(grad_out: &Tensor, argmax: &[usize], grad_x: &mut Tensor) {
+    let god = grad_out.data();
+    let gxd = grad_x.data_mut();
+    for (o, &src) in argmax.iter().enumerate() {
+        gxd[src] += god[o];
+    }
+}
+
+/// Nearest-neighbour upsampling along time by an integer factor.
+pub fn upsample_time_forward(x: &Tensor, factor: usize, out: &mut Tensor) {
+    let (c, f, t) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    debug_assert_eq!(out.shape(), &[c, f, t * factor]);
+    let xd = x.data();
+    let od = out.data_mut();
+    for cf in 0..c * f {
+        for ti in 0..t {
+            let v = xd[cf * t + ti];
+            for j in 0..factor {
+                od[cf * t * factor + ti * factor + j] = v;
+            }
+        }
+    }
+}
+
+/// Backward of [`upsample_time_forward`]: sums gradients over each window.
+pub fn upsample_time_backward(grad_out: &Tensor, factor: usize, grad_x: &mut Tensor) {
+    let (c, f, t) = (grad_x.shape()[0], grad_x.shape()[1], grad_x.shape()[2]);
+    debug_assert_eq!(grad_out.shape(), &[c, f, t * factor]);
+    let god = grad_out.data();
+    let gxd = grad_x.data_mut();
+    for cf in 0..c * f {
+        for ti in 0..t {
+            let mut acc = 0.0;
+            for j in 0..factor {
+                acc += god[cf * t * factor + ti * factor + j];
+            }
+            gxd[cf * t + ti] += acc;
+        }
+    }
+}
+
+/// Nearest-neighbour upsampling along frequency by an integer factor.
+pub fn upsample_freq_forward(x: &Tensor, factor: usize, out: &mut Tensor) {
+    let (c, f, t) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    debug_assert_eq!(out.shape(), &[c, f * factor, t]);
+    let xd = x.data();
+    let od = out.data_mut();
+    for ci in 0..c {
+        for fq in 0..f {
+            for j in 0..factor {
+                let orow = (ci * f * factor + fq * factor + j) * t;
+                let irow = (ci * f + fq) * t;
+                od[orow..orow + t].copy_from_slice(&xd[irow..irow + t]);
+            }
+        }
+    }
+}
+
+/// Backward of [`upsample_freq_forward`].
+pub fn upsample_freq_backward(grad_out: &Tensor, factor: usize, grad_x: &mut Tensor) {
+    let (c, f, t) = (grad_x.shape()[0], grad_x.shape()[1], grad_x.shape()[2]);
+    debug_assert_eq!(grad_out.shape(), &[c, f * factor, t]);
+    let god = grad_out.data();
+    let gxd = grad_x.data_mut();
+    for ci in 0..c {
+        for fq in 0..f {
+            let irow = (ci * f + fq) * t;
+            for j in 0..factor {
+                let orow = (ci * f * factor + fq * factor + j) * t;
+                for ti in 0..t {
+                    gxd[irow + ti] += god[orow + ti];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_pool_time_halves_and_averages() {
+        let x = Tensor::from_vec(&[1, 1, 6], vec![1.0, 3.0, 5.0, 7.0, 2.0, 4.0]);
+        let mut out = Tensor::zeros(&[1, 1, 3]);
+        avg_pool_time_forward(&x, 2, &mut out);
+        assert_eq!(out.data(), &[2.0, 6.0, 3.0]);
+    }
+
+    #[test]
+    fn avg_pool_backward_spreads_uniformly() {
+        let go = Tensor::from_vec(&[1, 1, 2], vec![4.0, 8.0]);
+        let mut gx = Tensor::zeros(&[1, 1, 4]);
+        avg_pool_time_backward(&go, 2, &mut gx);
+        assert_eq!(gx.data(), &[2.0, 2.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn max_pool_freq_takes_max_and_routes_gradient() {
+        let x = Tensor::from_vec(&[1, 4, 2], vec![1.0, 9.0, 5.0, 2.0, 0.0, 1.0, 7.0, 3.0]);
+        let mut out = Tensor::zeros(&[1, 2, 2]);
+        let mut argmax = Vec::new();
+        max_pool_freq_forward(&x, 2, &mut out, &mut argmax);
+        assert_eq!(out.data(), &[5.0, 9.0, 7.0, 3.0]);
+        let go = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let mut gx = Tensor::zeros(&[1, 4, 2]);
+        max_pool_freq_backward(&go, &argmax, &mut gx);
+        assert_eq!(gx.data(), &[0.0, 2.0, 1.0, 0.0, 0.0, 0.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn upsample_time_repeats_and_backward_sums() {
+        let x = Tensor::from_vec(&[1, 1, 2], vec![3.0, 5.0]);
+        let mut out = Tensor::zeros(&[1, 1, 4]);
+        upsample_time_forward(&x, 2, &mut out);
+        assert_eq!(out.data(), &[3.0, 3.0, 5.0, 5.0]);
+        let go = Tensor::from_vec(&[1, 1, 4], vec![1.0, 2.0, 3.0, 4.0]);
+        let mut gx = Tensor::zeros(&[1, 1, 2]);
+        upsample_time_backward(&go, 2, &mut gx);
+        assert_eq!(gx.data(), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn upsample_freq_repeats_rows() {
+        let x = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let mut out = Tensor::zeros(&[1, 4, 2]);
+        upsample_freq_forward(&x, 2, &mut out);
+        assert_eq!(out.data(), &[1.0, 2.0, 1.0, 2.0, 3.0, 4.0, 3.0, 4.0]);
+        let go = Tensor::filled(&[1, 4, 2], 1.0);
+        let mut gx = Tensor::zeros(&[1, 2, 2]);
+        upsample_freq_backward(&go, 2, &mut gx);
+        assert_eq!(gx.data(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn pool_then_upsample_round_trip_on_constant() {
+        let x = Tensor::filled(&[2, 3, 8], 1.5);
+        let mut pooled = Tensor::zeros(&[2, 3, 4]);
+        avg_pool_time_forward(&x, 2, &mut pooled);
+        let mut up = Tensor::zeros(&[2, 3, 8]);
+        upsample_time_forward(&pooled, 2, &mut up);
+        assert_eq!(up.data(), x.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn avg_pool_rejects_indivisible_time() {
+        let x = Tensor::zeros(&[1, 1, 5]);
+        let mut out = Tensor::zeros(&[1, 1, 2]);
+        avg_pool_time_forward(&x, 2, &mut out);
+    }
+}

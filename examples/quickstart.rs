@@ -1,0 +1,62 @@
+//! Quickstart: separate a two-source quasi-periodic mix with DHF.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dhf::core::{separate, DhfConfig};
+use dhf::metrics::{sdr_db, si_sdr_db};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fs = 100.0;
+    let n = 6000; // 60 seconds
+
+    // Two quasi-periodic sources whose frequencies drift independently;
+    // source 1's second harmonic sweeps across source 2's fundamental —
+    // the crossover situation classic filtering cannot handle.
+    let track1: Vec<f64> = (0..n)
+        .map(|i| 1.35 + 0.30 * (i as f64 / n as f64 * std::f64::consts::TAU * 2.0).sin())
+        .collect();
+    let track2: Vec<f64> = (0..n)
+        .map(|i| 2.50 + 0.45 * (i as f64 / n as f64 * std::f64::consts::TAU * 3.0).cos())
+        .collect();
+    let render = |track: &[f64], amp: f64| -> Vec<f64> {
+        let mut phase = 0.0;
+        track
+            .iter()
+            .map(|&f| {
+                phase += std::f64::consts::TAU * f / fs;
+                amp * (phase.sin() + 0.4 * (2.0 * phase).sin())
+            })
+            .collect()
+    };
+    let s1 = render(&track1, 1.0);
+    let s2 = render(&track2, 0.3);
+    let mixed: Vec<f64> = s1.iter().zip(&s2).map(|(a, b)| a + b).collect();
+
+    // Separate. `DhfConfig::default()` reproduces the paper's settings;
+    // `fast()` is a light configuration that runs in seconds.
+    let cfg = DhfConfig::fast();
+    let result = separate(&mixed, fs, &[track1, track2], &cfg)?;
+
+    let lo = 500;
+    let hi = n - 500;
+    println!("DHF separated {} sources in {} rounds", result.sources.len(), result.rounds.len());
+    for (i, (truth, est)) in [s1, s2].iter().zip(&result.sources).enumerate() {
+        println!(
+            "  source{}: SDR {:6.2} dB (scale-invariant {:6.2} dB)",
+            i + 1,
+            sdr_db(&truth[lo..hi], &est[lo..hi]),
+            si_sdr_db(&truth[lo..hi], &est[lo..hi]),
+        );
+    }
+    for round in &result.rounds {
+        println!(
+            "  round on source{}: {:.1}% of spectrogram cells in-painted, time dilation {}",
+            round.source_index + 1,
+            100.0 * round.hidden_fraction,
+            round.dilation
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! # Deep Harmonic Finesse (DHF)
+//!
+//! A production-quality Rust reproduction of *"Deep Harmonic Finesse:
+//! Signal Separation in Wearable Systems with Limited Data"* (DAC 2024).
+//!
+//! DHF separates non-stationary quasi-periodic sources — respiration,
+//! maternal pulse, fetal pulse — from a **single** mixed sensor channel,
+//! with **no training dataset**, given only the sources' fundamental
+//! frequency tracks. This umbrella crate re-exports every subsystem:
+//!
+//! * [`dsp`] — FFT/STFT stack, filters, interpolation (all from scratch).
+//! * [`tensor`] — f32 tensors with reverse-mode autograd and the paper's
+//!   dilated harmonic convolution.
+//! * [`nn`] — layers and the SpAc LU-Net deep-prior architecture.
+//! * [`synth`] — quasi-periodic signal synthesis, Table-1 dataset and the
+//!   simulated in-vivo TFO recordings.
+//! * [`baselines`] — EMD, VMD, NMF, REPET(-Ext), spectral masking.
+//! * [`core`] — pattern alignment, harmonic masking, deep-prior
+//!   in-painting, and the multi-round separation pipeline.
+//! * [`metrics`] — SDR/MSE/correlation with the paper's averaging rules.
+//! * [`oximetry`] — SpO2 estimation from dual-wavelength PPG.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use dhf::synth::table1;
+//! use dhf::core::{DhfConfig, separate};
+//!
+//! // Generate the paper's synthesized mixed signal 1 (two sources).
+//! let mix = table1::mixed_signal(1, 42);
+//! // Separate using the ground-truth fundamental-frequency tracks.
+//! let cfg = DhfConfig::default();
+//! let separated = separate(&mix.samples, mix.fs, &mix.f0_tracks(), &cfg).unwrap();
+//! assert_eq!(separated.sources.len(), 2);
+//! ```
+
+pub use dhf_baselines as baselines;
+pub use dhf_core as core;
+pub use dhf_dsp as dsp;
+pub use dhf_metrics as metrics;
+pub use dhf_nn as nn;
+pub use dhf_oximetry as oximetry;
+pub use dhf_synth as synth;
+pub use dhf_tensor as tensor;

@@ -10,13 +10,7 @@ use dhf_dsp::fft::{fft_real, rfft_frequencies};
 
 /// Fraction of `component`'s spectral energy lying within `bw_hz` of any
 /// of the first `harmonics` multiples of `f0`.
-pub fn harmonic_affinity(
-    component: &[f64],
-    fs: f64,
-    f0: f64,
-    harmonics: usize,
-    bw_hz: f64,
-) -> f64 {
+pub fn harmonic_affinity(component: &[f64], fs: f64, f0: f64, harmonics: usize, bw_hz: f64) -> f64 {
     if component.is_empty() || f0 <= 0.0 {
         return 0.0;
     }

@@ -67,11 +67,8 @@ impl Separator for SpectralMasking {
         let ns = ctx.num_sources();
 
         // Per-source per-frame fundamental frequency.
-        let f0s: Vec<Vec<f64>> = ctx
-            .f0_tracks
-            .iter()
-            .map(|t| Self::frame_f0(t, win, hop, frames))
-            .collect();
+        let f0s: Vec<Vec<f64>> =
+            ctx.f0_tracks.iter().map(|t| Self::frame_f0(t, win, hop, frames)).collect();
 
         // Claim bins: for each TF cell find the nearest ridge within the
         // bandwidth; ties/multiple claims go to the earliest source in
@@ -79,8 +76,7 @@ impl Separator for SpectralMasking {
         let mut owner = vec![usize::MAX; bins * frames];
         let mut dist = vec![f64::INFINITY; bins * frames];
         for (si, f0f) in f0s.iter().enumerate() {
-            for m in 0..frames {
-                let f0 = f0f[m];
+            for (m, &f0) in f0f.iter().enumerate().take(frames) {
                 if f0 <= 0.0 {
                     continue;
                 }
@@ -109,8 +105,7 @@ impl Separator for SpectralMasking {
         // Resynthesize each source from its claimed bins.
         let mut out = Vec::with_capacity(ns);
         for si in 0..ns {
-            let mask: Vec<f64> =
-                owner.iter().map(|&o| if o == si { 1.0 } else { 0.0 }).collect();
+            let mask: Vec<f64> = owner.iter().map(|&o| if o == si { 1.0 } else { 0.0 }).collect();
             let masked = spec.apply_mask(&mask);
             out.push(istft(&masked));
         }
@@ -126,9 +121,8 @@ mod tests {
     fn two_tone_mix(fs: f64, n: usize, f1: f64, f2: f64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
         let s1: Vec<f64> =
             (0..n).map(|i| (std::f64::consts::TAU * f1 * i as f64 / fs).sin()).collect();
-        let s2: Vec<f64> = (0..n)
-            .map(|i| 0.5 * (std::f64::consts::TAU * f2 * i as f64 / fs).sin())
-            .collect();
+        let s2: Vec<f64> =
+            (0..n).map(|i| 0.5 * (std::f64::consts::TAU * f2 * i as f64 / fs).sin()).collect();
         let mix = s1.iter().zip(&s2).map(|(a, b)| a + b).collect();
         (mix, s1, s2)
     }

@@ -214,9 +214,8 @@ mod tests {
         let n = 4000;
         let s1: Vec<f64> =
             (0..n).map(|i| (std::f64::consts::TAU * 1.0 * i as f64 / fs).sin()).collect();
-        let s2: Vec<f64> = (0..n)
-            .map(|i| 0.6 * (std::f64::consts::TAU * 3.3 * i as f64 / fs).sin())
-            .collect();
+        let s2: Vec<f64> =
+            (0..n).map(|i| 0.6 * (std::f64::consts::TAU * 3.3 * i as f64 / fs).sin()).collect();
         let mix: Vec<f64> = s1.iter().zip(&s2).map(|(a, b)| a + b).collect();
         let tracks = vec![vec![1.0; n], vec![3.3; n]];
         let ctx = SeparationContext { fs, f0_tracks: &tracks };

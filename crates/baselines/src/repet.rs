@@ -66,10 +66,12 @@ impl Repet {
         // per-bin power envelope.
         let mut beat = vec![0.0f64; frames];
         for b in 0..bins {
-            let row: Vec<f64> = (0..frames).map(|m| {
-                let x = v[b * frames + m];
-                x * x
-            }).collect();
+            let row: Vec<f64> = (0..frames)
+                .map(|m| {
+                    let x = v[b * frames + m];
+                    x * x
+                })
+                .collect();
             let ac = autocorrelation(&row);
             for (bt, &a) in beat.iter_mut().zip(&ac) {
                 *bt += a;
@@ -111,12 +113,10 @@ impl Repet {
 
         // Soft mask and resynthesis.
         let eps = 1e-9;
-        let mask: Vec<f64> =
-            v.iter().zip(&model).map(|(&vv, &mm)| mm / (vv + eps)).collect();
+        let mask: Vec<f64> = v.iter().zip(&model).map(|(&vv, &mm)| mm / (vv + eps)).collect();
         let masked = spec.apply_mask(&mask);
         let background = istft(&masked);
-        let foreground: Vec<f64> =
-            mixed.iter().zip(&background).map(|(&x, &b)| x - b).collect();
+        let foreground: Vec<f64> = mixed.iter().zip(&background).map(|(&x, &b)| x - b).collect();
         Ok((background, foreground))
     }
 
@@ -265,10 +265,10 @@ impl Separator for RepetExtended {
             }
             start += hop;
         }
-        for si in 0..ns {
-            for i in 0..n {
-                if norm[i] > 1e-9 {
-                    out[si][i] /= norm[i];
+        for src in out.iter_mut() {
+            for (v, &nv) in src.iter_mut().zip(&norm) {
+                if nv > 1e-9 {
+                    *v /= nv;
                 }
             }
         }
@@ -306,8 +306,7 @@ mod tests {
         let fs = 100.0;
         let n = 4000;
         let (mix, bg, _fg) = repet_mix(fs, n);
-        let (est_bg, _est_fg) =
-            Repet::default().background_foreground(&mix, fs).unwrap();
+        let (est_bg, _est_fg) = Repet::default().background_foreground(&mix, fs).unwrap();
         let sdr = sdr_db(&bg[600..3400], &est_bg[600..3400]);
         assert!(sdr > 3.0, "background SDR {sdr}");
     }

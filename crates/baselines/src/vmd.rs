@@ -193,11 +193,8 @@ mod tests {
     fn modes_land_on_tone_frequencies() {
         let fs = 100.0;
         let n = 2000;
-        let mix: Vec<f64> = tone(fs, 1.5, 1.0, n)
-            .iter()
-            .zip(&tone(fs, 4.0, 0.8, n))
-            .map(|(a, b)| a + b)
-            .collect();
+        let mix: Vec<f64> =
+            tone(fs, 1.5, 1.0, n).iter().zip(&tone(fs, 4.0, 0.8, n)).map(|(a, b)| a + b).collect();
         let vmd = Vmd::default();
         let (_modes, centres) = vmd.decompose(&mix, fs, &[1.3, 4.3]);
         let mut sorted = centres.clone();
@@ -210,14 +207,10 @@ mod tests {
     fn modes_approximately_reconstruct_signal() {
         let fs = 100.0;
         let n = 2000;
-        let mix: Vec<f64> = tone(fs, 1.5, 1.0, n)
-            .iter()
-            .zip(&tone(fs, 4.0, 0.8, n))
-            .map(|(a, b)| a + b)
-            .collect();
+        let mix: Vec<f64> =
+            tone(fs, 1.5, 1.0, n).iter().zip(&tone(fs, 4.0, 0.8, n)).map(|(a, b)| a + b).collect();
         let (modes, _) = Vmd::default().decompose(&mix, fs, &[1.5, 4.0]);
-        let recon: Vec<f64> =
-            (0..n).map(|i| modes.iter().map(|m| m[i]).sum::<f64>()).collect();
+        let recon: Vec<f64> = (0..n).map(|i| modes.iter().map(|m| m[i]).sum::<f64>()).collect();
         let sdr = sdr_db(&mix[200..1800], &recon[200..1800]);
         assert!(sdr > 10.0, "reconstruction SDR {sdr}");
     }

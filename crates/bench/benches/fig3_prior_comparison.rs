@@ -86,9 +86,8 @@ fn main() {
         let cfg = variant.configure(&base);
         let mut row = Vec::new();
         for &iters in &iters_list {
-            let mut rng = StdRng::seed_from_u64(0xF16_3);
-            let mut net =
-                DeepPriorNet::new(&cfg, bins, frames, &mut rng).expect("network builds");
+            let mut rng = StdRng::seed_from_u64(0xF163);
+            let mut net = DeepPriorNet::new(&cfg, bins, frames, &mut rng).expect("network builds");
             net.fit(&target, &mask, iters, 0.01);
             row.push(hidden_mse(&net.output_image(), &target, &mask));
         }

@@ -6,9 +6,7 @@
 //! energy ratio is low (a weak target buried under strong overlapping
 //! interference); DHF's improvement is largest there.
 
-use dhf_bench::{
-    baseline_roster, bench_dhf_config, prepare_mix, run_baseline, run_dhf, Stopwatch,
-};
+use dhf_bench::{baseline_roster, bench_dhf_config, prepare_mix, run_baseline, run_dhf, Stopwatch};
 use dhf_core::PatternAligner;
 use dhf_dsp::stft::{stft, StftConfig};
 use dhf_metrics::masked_energy_ratio;
@@ -18,10 +16,7 @@ fn main() {
     println!("=== Figure 5a: DHF SDR gain vs masked-energy ratio ===");
     let cfg = bench_dhf_config();
     let baselines = baseline_roster();
-    println!(
-        "{:<18} {:>8} {:>12} {:>10} {:>10}",
-        "case", "MER", "best prior", "DHF", "gain(dB)"
-    );
+    println!("{:<18} {:>8} {:>12} {:>10} {:>10}", "case", "MER", "best prior", "DHF", "gain(dB)");
 
     let mut series: Vec<(f64, f64)> = Vec::new();
     for mix_idx in 1..=5 {
@@ -42,14 +37,13 @@ fn main() {
         for round in &result.rounds {
             let si = round.source_index;
             let truth = &prepared.mix.sources[si];
-            let aligner = PatternAligner::new(&truth.f0, prepared.mix.fs, cfg.fs_prime)
-                .expect("aligner");
+            let aligner =
+                PatternAligner::new(&truth.f0, prepared.mix.fs, cfg.fs_prime).expect("aligner");
             let un = aligner.unwarp(&truth.samples).expect("unwarp");
             // Match the round's actual STFT geometry.
             let window = (round.bins - 1) * 2;
             let hop = window / 4;
-            let stft_cfg =
-                StftConfig::new(window, hop, cfg.fs_prime).expect("stft config");
+            let stft_cfg = StftConfig::new(window, hop, cfg.fs_prime).expect("stft config");
             if un.len() < window {
                 continue;
             }

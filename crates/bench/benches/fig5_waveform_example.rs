@@ -17,9 +17,7 @@ fn main() {
     let lo = (5.0 * fs) as usize;
     let hi = prepared.mix.samples.len() - lo;
     let dir = artifact_dir();
-    for (si, (truth, est)) in
-        prepared.mix.sources.iter().zip(&result.sources).enumerate()
-    {
+    for (si, (truth, est)) in prepared.mix.sources.iter().zip(&result.sources).enumerate() {
         let sdr = sdr_db(&truth.samples[lo..hi], &est[lo..hi]);
         let m = mse(&truth.samples[lo..hi], &est[lo..hi]);
         println!(
@@ -31,9 +29,8 @@ fn main() {
         writeln!(f, "time_s,truth,estimate").expect("csv header");
         // A 20-second excerpt is enough to see the waveforms.
         let stop = (lo + (20.0 * fs) as usize).min(hi);
-        for i in lo..stop {
-            writeln!(f, "{:.3},{:.6},{:.6}", i as f64 / fs, truth.samples[i], est[i])
-                .expect("csv row");
+        for (i, &e) in est.iter().enumerate().take(stop).skip(lo) {
+            writeln!(f, "{:.3},{:.6},{:.6}", i as f64 / fs, truth.samples[i], e).expect("csv row");
         }
         println!("  trace -> {}", path.display());
     }

@@ -27,10 +27,7 @@ fn fetal_estimate(
     // Remove the DC level: separators work on the pulsatile part.
     let dc = dc_level(window);
     let ac: Vec<f64> = window.iter().map(|&v| v - dc).collect();
-    let tracks = vec![
-        recording.f0.maternal[lo..hi].to_vec(),
-        recording.f0.fetal[lo..hi].to_vec(),
-    ];
+    let tracks = vec![recording.f0.maternal[lo..hi].to_vec(), recording.f0.fetal[lo..hi].to_vec()];
     match method {
         "masking" => {
             let ctx = SeparationContext { fs: recording.config.fs, f0_tracks: &tracks };
@@ -57,9 +54,11 @@ fn evaluate_sheep(recording: &TfoRecording, method: &str, iterations: usize) -> 
     let mut sao2 = Vec::new();
     for draw in &recording.draws {
         let centre = recording.sample_at(draw.time_s);
-        let lo = centre.saturating_sub(half_window).max(0);
+        let lo = centre.saturating_sub(half_window);
         let hi = (centre + half_window).min(recording.len());
-        if hi - lo < 2 * half_window / 2 {
+        // Skip draws whose analysis window is truncated by a recording
+        // edge; a shortened window would bias the per-method comparison.
+        if hi - lo < 2 * half_window {
             continue;
         }
         let mut ac = [0.0f64; 2];
@@ -106,8 +105,7 @@ fn main() {
     }
 
     // Paper metric: average improvement of the correlation error (1-r).
-    let err_mask: f64 =
-        mask_corrs.iter().map(|&c| 1.0 - c).sum::<f64>() / mask_corrs.len() as f64;
+    let err_mask: f64 = mask_corrs.iter().map(|&c| 1.0 - c).sum::<f64>() / mask_corrs.len() as f64;
     let err_dhf: f64 = dhf_corrs.iter().map(|&c| 1.0 - c).sum::<f64>() / dhf_corrs.len() as f64;
     let improvement = 100.0 * (err_mask - err_dhf) / err_mask.max(1e-9);
     println!();

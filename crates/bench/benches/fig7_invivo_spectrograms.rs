@@ -45,8 +45,8 @@ fn main() {
     let lo = mid.saturating_sub(seg_len / 2);
     let hi = (lo + seg_len).min(recording.len());
 
-    let stft_cfg = StftConfig::new((10.0 * fs) as usize, (2.5 * fs) as usize, fs)
-        .expect("stft config");
+    let stft_cfg =
+        StftConfig::new((10.0 * fs) as usize, (2.5 * fs) as usize, fs).expect("stft config");
     let fetal_band = recording.config.fetal_band;
     let iterations = dhf_iterations().min(150);
 
@@ -71,10 +71,8 @@ fn main() {
         write_pgm(&mixed_path, &crop(&mixed_spec), top + 1, frames);
 
         // Separate the fetal signal with DHF.
-        let tracks = vec![
-            recording.f0.maternal[lo..hi].to_vec(),
-            recording.f0.fetal[lo..hi].to_vec(),
-        ];
+        let tracks =
+            vec![recording.f0.maternal[lo..hi].to_vec(), recording.f0.fetal[lo..hi].to_vec()];
         let mut cfg = bench_dhf_config();
         cfg.inpaint.iterations = iterations;
         let fetal = separate(&ac, fs, &tracks, &cfg)

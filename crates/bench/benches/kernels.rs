@@ -17,18 +17,14 @@ fn bench_fft(c: &mut Criterion) {
     let x: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.37).sin()).collect();
     c.bench_function("fft_real_4096", |b| b.iter(|| black_box(fft_real(black_box(&x)))));
     let y: Vec<f64> = (0..6000).map(|i| (i as f64 * 0.21).cos()).collect();
-    c.bench_function("fft_real_6000_bluestein", |b| {
-        b.iter(|| black_box(fft_real(black_box(&y))))
-    });
+    c.bench_function("fft_real_6000_bluestein", |b| b.iter(|| black_box(fft_real(black_box(&y)))));
 }
 
 fn bench_stft(c: &mut Criterion) {
     let fs = 100.0;
     let x: Vec<f64> = (0..9000).map(|i| (i as f64 * 0.11).sin()).collect();
     let cfg = StftConfig::new(512, 128, fs).unwrap();
-    c.bench_function("stft_9000x512", |b| {
-        b.iter(|| black_box(stft(black_box(&x), &cfg).unwrap()))
-    });
+    c.bench_function("stft_9000x512", |b| b.iter(|| black_box(stft(black_box(&x), &cfg).unwrap())));
 }
 
 fn bench_harmonic_conv(c: &mut Criterion) {

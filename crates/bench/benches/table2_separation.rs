@@ -86,14 +86,11 @@ fn main() {
 
     // Shape summary against the paper's claims.
     let dhf_col = columns.len() - 1;
-    let dhf_avg =
-        average_sdr_db(&columns[dhf_col].iter().map(|&(s, _)| s).collect::<Vec<_>>());
+    let dhf_avg = average_sdr_db(&columns[dhf_col].iter().map(|&(s, _)| s).collect::<Vec<_>>());
     let best_baseline_avg = columns[..dhf_col]
         .iter()
         .map(|c| {
-            average_sdr_db(
-                &c.iter().map(|&(s, _)| s).filter(|s| s.is_finite()).collect::<Vec<_>>(),
-            )
+            average_sdr_db(&c.iter().map(|&(s, _)| s).filter(|s| s.is_finite()).collect::<Vec<_>>())
         })
         .fold(f64::NEG_INFINITY, f64::max);
     println!();

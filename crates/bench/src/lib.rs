@@ -73,8 +73,7 @@ pub const EVAL_BAND_HZ: f64 = 12.0;
 pub fn bench_dhf_config() -> DhfConfig {
     let mut cfg = if fast_mode() { DhfConfig::fast() } else { DhfConfig::default() };
     cfg.inpaint.iterations = dhf_iterations();
-    cfg.inpaint.keep_visible =
-        std::env::var("DHF_KEEP_VISIBLE").map(|v| v != "0").unwrap_or(true);
+    cfg.inpaint.keep_visible = std::env::var("DHF_KEEP_VISIBLE").map(|v| v != "0").unwrap_or(true);
     cfg.comb_bandwidth_hz = env_f64("DHF_COMB_BW", cfg.comb_bandwidth_hz);
     cfg.mask_bandwidth_hz = env_f64("DHF_MASK_BW", cfg.mask_bandwidth_hz);
     cfg
@@ -173,10 +172,8 @@ pub fn fmt_cell(sdr: f64, mse_v: f64) -> String {
 
 /// Output directory for figure artefacts (`target/paper-artifacts`).
 pub fn artifact_dir() -> PathBuf {
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()),
-    )
-    .join("paper-artifacts");
+    let dir = PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()))
+        .join("paper-artifacts");
     std::fs::create_dir_all(&dir).expect("create artifact dir");
     dir
 }

@@ -199,13 +199,8 @@ mod tests {
         // frequency resolution is fs'/len ).
         let spec = fft_real(&un.samples);
         let mags: Vec<f64> = spec.iter().map(|c| c.abs()).collect();
-        let peak = mags
-            .iter()
-            .enumerate()
-            .skip(1)
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let peak =
+            mags.iter().enumerate().skip(1).max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         let peak_hz = peak as f64 * 16.0 / un.len() as f64;
         assert!((peak_hz - 1.0).abs() < 0.05, "peak at {peak_hz} Hz");
         // And it must be sharp: energy within ±0.1 Hz of 1 Hz dominates.
@@ -272,10 +267,7 @@ mod tests {
 
     #[test]
     fn constructor_validates_track() {
-        assert!(matches!(
-            PatternAligner::new(&[], 100.0, 16.0),
-            Err(DhfError::MissingTracks)
-        ));
+        assert!(matches!(PatternAligner::new(&[], 100.0, 16.0), Err(DhfError::MissingTracks)));
         assert!(matches!(
             PatternAligner::new(&[1.0, 0.0], 100.0, 16.0),
             Err(DhfError::NonPositiveFrequency)

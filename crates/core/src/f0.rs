@@ -69,9 +69,10 @@ impl F0Estimator {
             // Strongest autocorrelation peak in the lag band.
             let mut best_lag = lag_lo;
             let mut best_val = f64::MIN;
-            for lag in lag_lo..=lag_hi.min(ac.len() - 2) {
-                if ac[lag] > best_val {
-                    best_val = ac[lag];
+            let hi = lag_hi.min(ac.len() - 2);
+            for (lag, &v) in ac.iter().enumerate().take(hi + 1).skip(lag_lo) {
+                if v > best_val {
+                    best_val = v;
                     best_lag = lag;
                 }
             }

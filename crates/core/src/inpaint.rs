@@ -105,9 +105,7 @@ fn harmonic_interp(
     let mut out = magnitude.to_vec();
     for b in 0..bins {
         let row = &magnitude[b * frames..(b + 1) * frames];
-        let vis: Vec<usize> = (0..frames)
-            .filter(|&m| mask_visible[b * frames + m] > 0.5)
-            .collect();
+        let vis: Vec<usize> = (0..frames).filter(|&m| mask_visible[b * frames + m] > 0.5).collect();
         if vis.is_empty() {
             for v in &mut out[b * frames..(b + 1) * frames] {
                 *v = 0.0;
@@ -236,8 +234,9 @@ mod tests {
     #[test]
     fn harmonic_interp_bridges_gap_exactly_for_constant_rows() {
         let (mag, bins, frames, mask) = ridge_case();
-        let out = inpaint_magnitude(&mag, bins, frames, &mask, &tiny_cfg(InpaintMethod::HarmonicInterp))
-            .unwrap();
+        let out =
+            inpaint_magnitude(&mag, bins, frames, &mask, &tiny_cfg(InpaintMethod::HarmonicInterp))
+                .unwrap();
         assert!(out.report.is_none());
         for m in 5..8 {
             assert!((out.magnitude[4 * frames + m] - 0.9).abs() < 1e-9);
@@ -252,8 +251,9 @@ mod tests {
             mask[2 * frames + m] = 0.0;
             mag[2 * frames + m] = 0.7;
         }
-        let out = inpaint_magnitude(&mag, bins, frames, &mask, &tiny_cfg(InpaintMethod::HarmonicInterp))
-            .unwrap();
+        let out =
+            inpaint_magnitude(&mag, bins, frames, &mask, &tiny_cfg(InpaintMethod::HarmonicInterp))
+                .unwrap();
         for m in 0..frames {
             assert_eq!(out.magnitude[2 * frames + m], 0.0);
         }

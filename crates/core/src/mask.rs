@@ -162,10 +162,10 @@ pub fn target_comb_gain(cfg: &StftConfig, harmonics: usize, bandwidth_hz: f64) -
         if centre > cfg.fs() / 2.0 + bandwidth_hz {
             break;
         }
-        for b in 0..bins {
+        for (b, g) in gain.iter_mut().enumerate() {
             let f = cfg.bin_frequency(b);
             if (f - centre).abs() <= bandwidth_hz {
-                gain[b] = 1.0;
+                *g = 1.0;
             }
         }
     }
@@ -202,8 +202,7 @@ mod tests {
         let frames = 6;
         // Interferer sweeps through the target's 2nd harmonic (2.0) at
         // frame 3.
-        let ratios =
-            vec![vec![1.7, 1.8, 1.9, 2.0, 2.1, 2.2].iter().map(|&r| r).collect::<Vec<f64>>()];
+        let ratios = vec![vec![1.7, 1.8, 1.9, 2.0, 2.1, 2.2]];
         let mask = HarmonicMask::build(&cfg, frames, &ratios, 1, 0.1);
         // Target 2nd-harmonic row = bin 16.
         assert!(mask.is_visible(16, 0), "no overlap yet at frame 0");

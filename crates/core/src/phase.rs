@@ -21,8 +21,8 @@ pub fn interpolate_masked_phase(spec: &Spectrogram, mask: &HarmonicMask) -> Vec<
     let mut out = vec![0.0f64; bins * frames];
     let mut row_phase = vec![0.0f64; frames];
     for b in 0..bins {
-        for m in 0..frames {
-            row_phase[m] = spec.at(b, m).arg();
+        for (m, rp) in row_phase.iter_mut().enumerate() {
+            *rp = spec.at(b, m).arg();
         }
         let valid = mask.row_visibility(b);
         let fixed = interpolate_cyclic(&row_phase, &valid);

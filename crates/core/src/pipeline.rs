@@ -102,19 +102,23 @@ impl DhfConfig {
     /// network, fewer iterations, shorter window. Quality is lower than
     /// [`DhfConfig::default`] but the pipeline structure is identical.
     pub fn fast() -> Self {
-        let mut cfg = DhfConfig::default();
-        cfg.window = 64;
-        cfg.hop = 16;
-        cfg.inpaint.iterations = 120;
-        cfg.inpaint.net = NetConfig {
-            base_channels: 4,
-            depth: 1,
-            conv: ConvKind::Harmonic { harmonics: 3, kt: 3, anchor: 1, dil_t: 4 },
-            ..NetConfig::default()
-        };
-        cfg.dilation_low = 4;
-        cfg.dilation_high = 6;
-        cfg
+        DhfConfig {
+            window: 64,
+            hop: 16,
+            inpaint: InpaintConfig {
+                iterations: 120,
+                net: NetConfig {
+                    base_channels: 4,
+                    depth: 1,
+                    conv: ConvKind::Harmonic { harmonics: 3, kt: 3, anchor: 1, dil_t: 4 },
+                    ..NetConfig::default()
+                },
+                ..InpaintConfig::default()
+            },
+            dilation_low: 4,
+            dilation_high: 6,
+            ..DhfConfig::default()
+        }
     }
 
     /// Uses the deterministic harmonic-interpolation in-painter instead
@@ -186,8 +190,7 @@ pub fn separate(
     let mut rounds = Vec::with_capacity(order.len());
 
     for (round_idx, &si) in order.iter().enumerate() {
-        let (estimate, report) =
-            separate_one(&residual, fs, f0_tracks, si, cfg, round_idx as u64)?;
+        let (estimate, report) = separate_one(&residual, fs, f0_tracks, si, cfg, round_idx as u64)?;
         for (r, &e) in residual.iter_mut().zip(&estimate) {
             *r -= e;
         }
@@ -308,8 +311,8 @@ fn separate_one(
     }
 
     let y_un = istft(&rebuilt);
-    let estimate = aligner
-        .restore(&UnwarpedSignal { samples: y_un, timestamps: un.timestamps.clone() })?;
+    let estimate =
+        aligner.restore(&UnwarpedSignal { samples: y_un, timestamps: un.timestamps.clone() })?;
 
     let report = RoundReport {
         source_index: si,
@@ -328,11 +331,7 @@ fn separate_one(
 fn band_energy(signal: &[f64], fs: f64, lo: f64, hi: f64) -> f64 {
     let spec = fft_real(signal);
     let freqs = rfft_frequencies(signal.len(), fs);
-    spec.iter()
-        .zip(&freqs)
-        .filter(|(_, &f)| f >= lo && f <= hi)
-        .map(|(c, _)| c.norm_sqr())
-        .sum()
+    spec.iter().zip(&freqs).filter(|(_, &f)| f >= lo && f <= hi).map(|(c, _)| c.norm_sqr()).sum()
 }
 
 /// Decides the peeling order.
@@ -349,9 +348,8 @@ fn peel_order(
             let mut scored: Vec<(f64, usize)> = (0..n)
                 .map(|i| {
                     let t = &f0_tracks[i];
-                    let (lo, hi) = t.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| {
-                        (l.min(v), h.max(v))
-                    });
+                    let (lo, hi) =
+                        t.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
                     (band_energy(mixed, fs, (lo - 0.1).max(0.01), hi + 0.1), i)
                 })
                 .collect();

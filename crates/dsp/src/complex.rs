@@ -156,10 +156,7 @@ impl Mul for Complex {
     type Output = Complex;
     #[inline]
     fn mul(self, rhs: Complex) -> Complex {
-        Complex::new(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        Complex::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
 }
 
@@ -265,7 +262,7 @@ mod tests {
     #[test]
     fn cis_is_unit_magnitude() {
         for k in 0..16 {
-            let theta = k as f64 * 0.39269908;
+            let theta = k as f64 * std::f64::consts::FRAC_PI_8;
             assert!((Complex::cis(theta).abs() - 1.0).abs() < 1e-12);
         }
     }

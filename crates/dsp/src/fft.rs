@@ -223,12 +223,8 @@ pub fn ifft_real(half: &[Complex], n: usize) -> Vec<f64> {
     if n == 0 {
         return Vec::new();
     }
-    let expected = if n % 2 == 0 { n / 2 + 1 } else { n / 2 + 1 };
-    assert_eq!(
-        half.len(),
-        expected.min(n),
-        "half spectrum length inconsistent with signal length"
-    );
+    let expected = n / 2 + 1;
+    assert_eq!(half.len(), expected.min(n), "half spectrum length inconsistent with signal length");
     let mut full = vec![Complex::ZERO; n];
     for (k, &v) in half.iter().enumerate() {
         full[k] = v;
@@ -292,9 +288,7 @@ mod tests {
             .map(|k| {
                 (0..n)
                     .map(|t| {
-                        x[t] * Complex::cis(
-                            -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64,
-                        )
+                        x[t] * Complex::cis(-2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64)
                     })
                     .sum()
             })
@@ -358,17 +352,11 @@ mod tests {
     fn pure_tone_concentrates_in_one_bin() {
         let n = 256;
         let f = 17.0;
-        let x: Vec<f64> = (0..n)
-            .map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / n as f64).sin())
-            .collect();
+        let x: Vec<f64> =
+            (0..n).map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / n as f64).sin()).collect();
         let spec = fft_real(&x);
         let mags: Vec<f64> = spec.iter().map(|c| c.abs()).collect();
-        let peak = mags
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let peak = mags.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(peak, 17);
         // everything else is numerically zero
         for (k, &m) in mags.iter().enumerate() {
@@ -419,9 +407,7 @@ mod tests {
         let ac = autocorrelation(&x);
         assert!((ac[0] - 1.0).abs() < 1e-9);
         // find the max away from lag 0
-        let lag = (10..200)
-            .max_by(|&a, &b| ac[a].partial_cmp(&ac[b]).unwrap())
-            .unwrap();
+        let lag = (10..200).max_by(|&a, &b| ac[a].partial_cmp(&ac[b]).unwrap()).unwrap();
         let freq = fs / lag as f64;
         assert!((freq - 4.0).abs() < 0.2, "estimated {freq} Hz");
     }

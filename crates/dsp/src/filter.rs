@@ -5,8 +5,8 @@
 //! (§4.2) and splits PPG into AC/DC parts for oximetry (Eq. 11); both paths
 //! are served from here.
 
-use crate::fft::{fft, ifft, next_power_of_two};
 use crate::complex::Complex;
+use crate::fft::{fft, ifft, next_power_of_two};
 use crate::{DspError, Result};
 
 /// A linear-phase FIR filter described by its taps.
@@ -321,11 +321,7 @@ pub fn detrend(signal: &[f64]) -> Vec<f64> {
         den += dx * dx;
     }
     let slope = if den.abs() < f64::EPSILON { 0.0 } else { num / den };
-    signal
-        .iter()
-        .enumerate()
-        .map(|(i, &y)| y - (mean_y + slope * (i as f64 - mean_x)))
-        .collect()
+    signal.iter().enumerate().map(|(i, &y)| y - (mean_y + slope * (i as f64 - mean_x))).collect()
 }
 
 /// Band-limits a signal to `[0, cutoff_hz]` with a zero-phase Butterworth
@@ -344,9 +340,7 @@ mod tests {
     use super::*;
 
     fn tone(fs: f64, f: f64, n: usize) -> Vec<f64> {
-        (0..n)
-            .map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / fs).sin())
-            .collect()
+        (0..n).map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / fs).sin()).collect()
     }
 
     fn rms(x: &[f64]) -> f64 {
@@ -395,9 +389,9 @@ mod tests {
         // Cross-correlate at small lags: the peak must be at lag 0.
         let score = |lag: isize| -> f64 {
             let mut s = 0.0;
-            for i in 200..1800usize {
+            for (i, &xi) in x.iter().enumerate().take(1800).skip(200) {
                 let j = (i as isize + lag) as usize;
-                s += x[i] * y[j];
+                s += xi * y[j];
             }
             s
         };

@@ -87,4 +87,45 @@ mod tests {
     fn median_across_empty_is_empty() {
         assert!(median_across(&[]).is_empty());
     }
+
+    #[test]
+    fn even_window_is_forced_to_next_odd() {
+        let x: Vec<f64> = (0..25).map(|i| ((i * 17) % 11) as f64).collect();
+        assert_eq!(median_filter(&x, 4), median_filter(&x, 5));
+        assert_eq!(median_filter(&x, 6), median_filter(&x, 7));
+    }
+
+    #[test]
+    fn odd_window_matches_manual_medians() {
+        let x = vec![5.0, 1.0, 4.0, 2.0, 3.0];
+        // Width 3, edge-truncated: [med(5,1), med(5,1,4), med(1,4,2),
+        // med(4,2,3), med(2,3)].
+        assert_eq!(median_filter(&x, 3), vec![3.0, 4.0, 2.0, 3.0, 2.5]);
+    }
+
+    #[test]
+    fn constant_input_is_fixed_point_for_any_window() {
+        let x = vec![-2.25; 17];
+        for len in [1usize, 2, 3, 4, 5, 8, 17, 40] {
+            assert_eq!(median_filter(&x, len), x, "window {len}");
+        }
+    }
+
+    #[test]
+    fn window_larger_than_signal_degrades_to_global_medians() {
+        let x = vec![1.0, 2.0, 100.0];
+        // Width forced to 41; every edge-truncated window spans the whole
+        // signal, so each output is the global median.
+        assert_eq!(median_filter(&x, 40), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn even_and_odd_sample_counts_in_median_across() {
+        let r1 = [1.0, 8.0];
+        let r2 = [3.0, 2.0];
+        // Even row count: mean of the two central values.
+        assert_eq!(median_across(&[&r1, &r2]), vec![2.0, 5.0]);
+        let r3 = [10.0, 4.0];
+        assert_eq!(median_across(&[&r1, &r2, &r3]), vec![3.0, 4.0]);
+    }
 }

@@ -71,9 +71,8 @@ mod tests {
 
     #[test]
     fn finds_maxima_and_minima_of_sine() {
-        let x: Vec<f64> = (0..200)
-            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 50.0).sin())
-            .collect();
+        let x: Vec<f64> =
+            (0..200).map(|i| (2.0 * std::f64::consts::PI * i as f64 / 50.0).sin()).collect();
         let maxima = local_maxima(&x);
         let minima = local_minima(&x);
         assert_eq!(maxima.len(), 4);

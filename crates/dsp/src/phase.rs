@@ -89,9 +89,7 @@ pub fn interpolate_cyclic(phase: &[f64], valid: &[bool]) -> Vec<f64> {
     // xs strictly increasing by construction; unwrap is safe.
     let ci = linear_interp(&xs, &cos_v, &queries).expect("valid interpolation inputs");
     let si = linear_interp(&xs, &sin_v, &queries).expect("valid interpolation inputs");
-    (0..n)
-        .map(|i| if valid[i] { phase[i] } else { si[i].atan2(ci[i]) })
-        .collect()
+    (0..n).map(|i| if valid[i] { phase[i] } else { si[i].atan2(ci[i]) }).collect()
 }
 
 /// Wraps an angle into `(-π, π]`.

@@ -25,7 +25,7 @@ pub fn resample_uniform(signal: &[f64], fs_in: f64, fs_out: f64) -> Result<Vec<f
     if signal.is_empty() {
         return Err(DspError::EmptyInput);
     }
-    if !(fs_in > 0.0) || !(fs_out > 0.0) {
+    if fs_in <= 0.0 || fs_in.is_nan() || fs_out <= 0.0 || fs_out.is_nan() {
         return Err(DspError::InvalidParameter {
             name: "fs",
             message: "sample rates must be positive".into(),
@@ -72,9 +72,8 @@ mod tests {
     #[test]
     fn downsample_preserves_low_frequency_content() {
         let fs = 200.0;
-        let x: Vec<f64> = (0..2000)
-            .map(|i| (2.0 * std::f64::consts::PI * 2.0 * i as f64 / fs).sin())
-            .collect();
+        let x: Vec<f64> =
+            (0..2000).map(|i| (2.0 * std::f64::consts::PI * 2.0 * i as f64 / fs).sin()).collect();
         let y = resample_uniform(&x, fs, 50.0).unwrap();
         // Compare against analytic values on the coarse grid.
         for (j, &v) in y.iter().enumerate() {

@@ -53,11 +53,7 @@ pub fn median(x: &[f64]) -> Option<f64> {
     let mut v = x.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let n = v.len();
-    Some(if n % 2 == 1 {
-        v[n / 2]
-    } else {
-        0.5 * (v[n / 2 - 1] + v[n / 2])
-    })
+    Some(if n % 2 == 1 { v[n / 2] } else { 0.5 * (v[n / 2 - 1] + v[n / 2]) })
 }
 
 /// Pearson correlation coefficient between two equal-length samples.
@@ -133,9 +129,8 @@ mod tests {
 
     #[test]
     fn rms_of_unit_sine_is_inv_sqrt2() {
-        let x: Vec<f64> = (0..10000)
-            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 100.0).sin())
-            .collect();
+        let x: Vec<f64> =
+            (0..10000).map(|i| (2.0 * std::f64::consts::PI * i as f64 / 100.0).sin()).collect();
         assert!((rms(&x) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
     }
 

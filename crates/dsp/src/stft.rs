@@ -58,7 +58,7 @@ impl StftConfig {
                 message: format!("must be in 1..={window_len}"),
             });
         }
-        if !(fs > 0.0) {
+        if fs <= 0.0 || fs.is_nan() {
             return Err(DspError::InvalidParameter {
                 name: "fs",
                 message: "sample rate must be positive".into(),
@@ -249,11 +249,7 @@ impl Spectrogram {
     pub fn with_magnitude_phase(&self, magnitude: &[f64], phase: &[f64]) -> Spectrogram {
         assert_eq!(magnitude.len(), self.data.len());
         assert_eq!(phase.len(), self.data.len());
-        let data = magnitude
-            .iter()
-            .zip(phase)
-            .map(|(&m, &p)| Complex::from_polar(m, p))
-            .collect();
+        let data = magnitude.iter().zip(phase).map(|(&m, &p)| Complex::from_polar(m, p)).collect();
         Spectrogram { data, ..self.clone() }
     }
 
@@ -264,12 +260,7 @@ impl Spectrogram {
     /// Panics if `mask.len() != bins * frames`.
     pub fn apply_mask(&self, mask: &[f64]) -> Spectrogram {
         assert_eq!(mask.len(), self.data.len(), "mask size mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(mask)
-            .map(|(c, &m)| c.scale(m))
-            .collect();
+        let data = self.data.iter().zip(mask).map(|(c, &m)| c.scale(m)).collect();
         Spectrogram { data, ..self.clone() }
     }
 }
@@ -327,8 +318,8 @@ pub fn istft(spec: &Spectrogram) -> Vec<f64> {
     let mut norm = vec![0.0f64; n];
     let mut half = vec![Complex::ZERO; spec.bins()];
     for m in 0..frames {
-        for k in 0..spec.bins() {
-            half[k] = spec.at(k, m);
+        for (k, h) in half.iter_mut().enumerate() {
+            *h = spec.at(k, m);
         }
         let frame = ifft_real(&half, w);
         let start = m * hop;
@@ -411,20 +402,15 @@ mod tests {
         let fs = 64.0;
         let cfg = StftConfig::new(128, 32, fs).unwrap();
         let f0 = 8.0;
-        let x: Vec<f64> = (0..1024)
-            .map(|i| (2.0 * std::f64::consts::PI * f0 * i as f64 / fs).sin())
-            .collect();
+        let x: Vec<f64> =
+            (0..1024).map(|i| (2.0 * std::f64::consts::PI * f0 * i as f64 / fs).sin()).collect();
         let s = stft(&x, &cfg).unwrap();
         let target_bin = cfg.frequency_to_bin(f0);
         assert_eq!(target_bin, 16);
         for m in 0..s.frames() {
             let mags: Vec<f64> = (0..s.bins()).map(|k| s.at(k, m).abs()).collect();
-            let peak = mags
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .unwrap()
-                .0;
+            let peak =
+                mags.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
             assert_eq!(peak, target_bin);
         }
     }
@@ -470,9 +456,8 @@ mod tests {
         let x = chirp(512, 16.0);
         let s = stft(&x, &cfg).unwrap();
         let full = s.energy();
-        let half_mask: Vec<f64> = (0..s.bins() * s.frames())
-            .map(|i| if i % 2 == 0 { 1.0 } else { 0.0 })
-            .collect();
+        let half_mask: Vec<f64> =
+            (0..s.bins() * s.frames()).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
         let inv_mask: Vec<f64> = half_mask.iter().map(|&m| 1.0 - m).collect();
         let e1 = s.apply_mask(&half_mask).energy();
         let e2 = s.apply_mask(&inv_mask).energy();

@@ -71,9 +71,7 @@ pub fn cola_deviation(window: &[f64], hop: usize) -> f64 {
     if mean.abs() < f64::EPSILON {
         return f64::INFINITY;
     }
-    acc.iter()
-        .map(|&v| ((v - mean) / mean).abs())
-        .fold(0.0, f64::max)
+    acc.iter().map(|&v| ((v - mean) / mean).abs()).fold(0.0, f64::max)
 }
 
 #[cfg(test)]
@@ -108,11 +106,9 @@ mod tests {
     fn window_kinds_have_expected_means() {
         // Coherent gain sanity: Hann mean 0.5, Hamming 0.54, Blackman 0.42.
         let n = 1024;
-        for (kind, mean) in [
-            (WindowKind::Hann, 0.5),
-            (WindowKind::Hamming, 0.54),
-            (WindowKind::Blackman, 0.42),
-        ] {
+        for (kind, mean) in
+            [(WindowKind::Hann, 0.5), (WindowKind::Hamming, 0.54), (WindowKind::Blackman, 0.42)]
+        {
             let g = kind.coherent_gain(n) / n as f64;
             assert!((g - mean).abs() < 1e-6, "{kind:?}: {g}");
         }

@@ -261,4 +261,62 @@ mod tests {
         assert_eq!(average_sdr_db(&[]), f64::NEG_INFINITY);
         assert_eq!(average_mse(&[]), 0.0);
     }
+
+    #[test]
+    fn si_sdr_closed_form_orthogonal_error() {
+        // Estimate = reference + orthogonal error: the optimal gain is 1,
+        // so SI-SDR = 10·log10(‖s‖²/‖e‖²) exactly. With a reference of
+        // alternating ±1 and an error of alternating ±0.1 in quadrature
+        // (shifted by one sample on a period-4 pattern) the vectors are
+        // orthogonal and the ratio is 100 → 20 dB.
+        let n = 400;
+        let reference: Vec<f64> = (0..n).map(|i| if i % 4 < 2 { 1.0 } else { -1.0 }).collect();
+        let error: Vec<f64> = (0..n).map(|i| if (i + 1) % 4 < 2 { 0.1 } else { -0.1 }).collect();
+        let dot: f64 = reference.iter().zip(&error).map(|(&a, &b)| a * b).sum();
+        assert!(dot.abs() < 1e-12, "construction must be orthogonal");
+        let estimate: Vec<f64> = reference.iter().zip(&error).map(|(&r, &e)| r + e).collect();
+        assert!((si_sdr_db(&reference, &estimate) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn si_sdr_is_scale_invariant_where_sdr_is_not() {
+        let x = tone(512, 3.0);
+        let noisy: Vec<f64> =
+            x.iter().enumerate().map(|(i, &v)| v + 0.05 * ((i % 7) as f64 - 3.0)).collect();
+        let scaled: Vec<f64> = noisy.iter().map(|&v| 3.7 * v).collect();
+        assert!((si_sdr_db(&x, &noisy) - si_sdr_db(&x, &scaled)).abs() < 1e-9);
+        assert!((sdr_db(&x, &noisy) - sdr_db(&x, &scaled)).abs() > 1.0);
+    }
+
+    #[test]
+    fn pearson_affine_invariance_and_anticorrelation() {
+        let x: Vec<f64> = (0..64).map(|i| ((i * 13) % 29) as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| -4.0 * v + 7.0).collect();
+        assert!((pearson(&x, &y) + 1.0).abs() < 1e-12);
+        let z: Vec<f64> = x.iter().map(|&v| 0.5 * v - 100.0).collect();
+        assert!((pearson(&x, &z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averaging_rules_closed_form() {
+        // Linear-scale SDR mean: 10 dB and 30 dB → (10 + 1000)/2 = 505 →
+        // 27.03 dB, far above the naive 20 dB.
+        let avg = average_sdr_db(&[10.0, 30.0]);
+        assert!((avg - 10.0 * 505.0f64.log10()).abs() < 1e-9);
+        // Geometric MSE mean of three known values.
+        let gm = average_mse(&[1e-1, 1e-3, 1e-5]);
+        assert!((gm - 1e-3).abs() < 1e-12);
+        // Singleton averages are the identity under both rules.
+        assert!((average_sdr_db(&[7.3]) - 7.3).abs() < 1e-9);
+        assert!((average_mse(&[4.2e-3]) - 4.2e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_is_symmetric_and_zero_iff_identical() {
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.37).sin()).collect();
+        let y: Vec<f64> = (0..32).map(|i| (i as f64 * 0.91).cos()).collect();
+        assert!((mse(&x, &y) - mse(&y, &x)).abs() < 1e-15);
+        assert_eq!(mse(&x, &x), 0.0);
+        assert!(mse(&x, &y) > 0.0);
+    }
 }

@@ -137,11 +137,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(7);
             let mut net = DeepPriorNet::new(&cfg, 16, 8, &mut rng).unwrap();
             let rep = net.fit(&t, &mask, 30, 0.02);
-            assert!(
-                rep.final_loss < rep.initial_loss,
-                "{} did not reduce loss",
-                v.label()
-            );
+            assert!(rep.final_loss < rep.initial_loss, "{} did not reduce loss", v.label());
         }
     }
 

@@ -279,10 +279,7 @@ mod tests {
         for fr in 5..7 {
             let ridge = out.data()[4 * 12 + fr];
             let bg = out.data()[9 * 12 + fr];
-            assert!(
-                ridge > bg + 0.2,
-                "frame {fr}: ridge {ridge} not above background {bg}"
-            );
+            assert!(ridge > bg + 0.2, "frame {fr}: ridge {ridge} not above background {bg}");
         }
     }
 

@@ -147,9 +147,7 @@ mod tests {
     #[test]
     fn ac_amplitude_ignores_linear_drift() {
         let x: Vec<f64> = (0..1000)
-            .map(|i| {
-                0.01 * i as f64 + 0.5 * (std::f64::consts::TAU * i as f64 / 50.0).sin()
-            })
+            .map(|i| 0.01 * i as f64 + 0.5 * (std::f64::consts::TAU * i as f64 / 50.0).sin())
             .collect();
         assert!((ac_amplitude(&x) - 1.0).abs() < 0.05);
     }

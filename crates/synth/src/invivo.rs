@@ -21,7 +21,6 @@ use crate::templates::Template;
 use dhf_dsp::interp::linear_interp;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// The two sensing wavelengths in nanometres.
 pub const WAVELENGTHS_NM: [f64; 2] = [740.0, 850.0];
@@ -52,7 +51,7 @@ pub fn modulation_ratio_for_sao2(sao2: f64) -> f64 {
 }
 
 /// One ground-truth blood draw.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BloodDraw {
     /// Draw time in seconds from recording start.
     pub time_s: f64,
@@ -61,7 +60,7 @@ pub struct BloodDraw {
 }
 
 /// Configuration of one simulated sheep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InvivoConfig {
     /// Sheep identifier (1 or 2 for the paper's animals).
     pub sheep_id: usize,
@@ -277,10 +276,7 @@ pub fn simulate(config: &InvivoConfig) -> TfoRecording {
     for _ in 0..4 {
         let (p1, p2): (f64, f64) = {
             use rand::Rng;
-            (
-                rng.gen_range(0.0..std::f64::consts::TAU),
-                rng.gen_range(0.0..std::f64::consts::TAU),
-            )
+            (rng.gen_range(0.0..std::f64::consts::TAU), rng.gen_range(0.0..std::f64::consts::TAU))
         };
         let t1 = config.duration_s / 2.7;
         let t2 = config.duration_s / 1.3;
@@ -329,13 +325,12 @@ pub fn simulate(config: &InvivoConfig) -> TfoRecording {
         .iter()
         .map(|&t| {
             let idx = ((t * config.fs) as usize).min(n - 1);
-            let jitter = 0.008
-                * {
-                    use rand::Rng;
-                    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-                    let u2: f64 = rng.gen_range(0.0..1.0);
-                    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-                };
+            let jitter = 0.008 * {
+                use rand::Rng;
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+            };
             BloodDraw { time_s: t, sao2: (sao2[idx] + jitter).clamp(0.0, 1.0) }
         })
         .collect();

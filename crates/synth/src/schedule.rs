@@ -2,10 +2,9 @@
 //! per period list, and amplitude per period list").
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Duration and amplitude of every period of a quasi-periodic source.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct PeriodSchedule {
     /// Seconds per period; all strictly positive.
     pub durations: Vec<f64>,

@@ -16,7 +16,6 @@ use crate::source::{add_noise, QuasiPeriodicSource, SourceSignal};
 use crate::templates::Template;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// Sampling rate of the synthesized dataset (Hz), per §4.1.
 pub const FS: f64 = 100.0;
@@ -29,7 +28,7 @@ pub const FS: f64 = 100.0;
 pub const DURATION_S: f64 = 120.0;
 
 /// Physiological role of a source (decides the waveform template).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SourceRole {
     /// Maternal or fetal pulsation (PPG beat template).
     Pulsation,
@@ -38,7 +37,7 @@ pub enum SourceRole {
 }
 
 /// Declarative description of one source, as in Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SourceSpec {
     /// Physiological role.
     pub role: SourceRole,
@@ -53,7 +52,7 @@ pub struct SourceSpec {
 }
 
 /// Declarative description of one mixed signal, as in one Table 1 column.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MixSpec {
     /// 1-based index (matches "Syn. MSig&lt;n&gt;").
     pub index: usize,
@@ -126,20 +125,12 @@ pub fn spec(index: usize) -> MixSpec {
         },
         4 => MixSpec {
             index,
-            sources: vec![
-                r(0.74, 0.1, 0.5, 0.9),
-                p(0.08, 0.01, 1.1, 1.8),
-                p(0.06, 0.01, 1.8, 2.9),
-            ],
+            sources: vec![r(0.74, 0.1, 0.5, 0.9), p(0.08, 0.01, 1.1, 1.8), p(0.06, 0.01, 1.8, 2.9)],
             noise_std: 0.01,
         },
         5 => MixSpec {
             index,
-            sources: vec![
-                r(0.6, 0.2, 0.5, 0.9),
-                p(0.07, 0.01, 1.0, 2.0),
-                p(0.04, 0.01, 2.1, 3.5),
-            ],
+            sources: vec![r(0.6, 0.2, 0.5, 0.9), p(0.07, 0.01, 1.0, 2.0), p(0.04, 0.01, 2.1, 3.5)],
             noise_std: 0.001,
         },
         _ => panic!("Table 1 defines mixed signals 1..=5, got {index}"),
@@ -177,7 +168,8 @@ pub fn mixed_signal_with_duration(index: usize, seed: u64, duration_s: f64) -> M
 /// Renders an arbitrary [`MixSpec`].
 pub fn render(spec: &MixSpec, seed: u64, duration_s: f64) -> MixedSignal {
     let n = (duration_s * FS) as usize;
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ spec.index as u64);
+    let mut rng =
+        StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ spec.index as u64);
     let mut sources = Vec::with_capacity(spec.sources.len());
     let mut mixed = vec![0.0f64; n];
     for s in &spec.sources {
@@ -274,8 +266,7 @@ mod tests {
         let sum: Vec<f64> = (0..m.samples.len())
             .map(|i| m.sources.iter().map(|s| s.samples[i]).sum::<f64>())
             .collect();
-        let residual: Vec<f64> =
-            m.samples.iter().zip(&sum).map(|(a, b)| a - b).collect();
+        let residual: Vec<f64> = m.samples.iter().zip(&sum).map(|(a, b)| a - b).collect();
         // Residual is exactly the additive noise.
         assert!((std_dev(&residual) - m.spec.noise_std).abs() < 0.2 * m.spec.noise_std + 1e-4);
     }

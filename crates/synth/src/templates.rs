@@ -10,10 +10,8 @@
 //! parametric shapes reproduce — a fundamental plus a few decaying
 //! harmonics.
 
-use serde::{Deserialize, Serialize};
-
 /// Waveform of one quasi-periodic cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Template {
     /// Pure sinusoid (useful for controlled tests).
     Sine,
@@ -84,9 +82,7 @@ fn ppg_mean() -> f64 {
 /// Period mean of the raw respiration shape.
 fn respiration_mean() -> f64 {
     static MEAN: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
-    *MEAN.get_or_init(|| {
-        (0..4096).map(|i| respiration(i as f64 / 4096.0)).sum::<f64>() / 4096.0
-    })
+    *MEAN.get_or_init(|| (0..4096).map(|i| respiration(i as f64 / 4096.0)).sum::<f64>() / 4096.0)
 }
 
 #[cfg(test)]
@@ -105,12 +101,8 @@ mod tests {
     #[test]
     fn ppg_peaks_near_systole() {
         let samples = Template::Ppg.sample_period(1000);
-        let peak = samples
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let peak =
+            samples.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         let peak_phase = peak as f64 / 1000.0;
         assert!((peak_phase - 0.30).abs() < 0.05, "peak at {peak_phase}");
         // Dicrotic bump exists: a secondary local max after the main peak,

@@ -627,25 +627,21 @@ impl Graph {
             Op::Mul(a, b) => {
                 if a == b {
                     acc!(a, |v: &Tensor, g: &mut Tensor| {
-                        for ((gi, &u), &x) in
-                            g.data_mut().iter_mut().zip(go.data()).zip(v.data())
-                        {
+                        for ((gi, &u), &x) in g.data_mut().iter_mut().zip(go.data()).zip(v.data()) {
                             *gi += 2.0 * u * x;
                         }
                     });
                 } else {
                     let vb = before[b.0].value.clone();
                     acc!(a, |_v: &Tensor, g: &mut Tensor| {
-                        for ((gi, &u), &y) in
-                            g.data_mut().iter_mut().zip(go.data()).zip(vb.data())
+                        for ((gi, &u), &y) in g.data_mut().iter_mut().zip(go.data()).zip(vb.data())
                         {
                             *gi += u * y;
                         }
                     });
                     let va = before[a.0].value.clone();
                     acc!(b, |_v: &Tensor, g: &mut Tensor| {
-                        for ((gi, &u), &x) in
-                            g.data_mut().iter_mut().zip(go.data()).zip(va.data())
+                        for ((gi, &u), &x) in g.data_mut().iter_mut().zip(go.data()).zip(va.data())
                         {
                             *gi += u * x;
                         }
@@ -709,7 +705,13 @@ impl Graph {
             Op::HarmonicConv { x, w, anchor, dil_t } => {
                 let (nx, nw) = pair_mut(before, x.0, w.0);
                 harmonic::backward(
-                    &nx.value, &nw.value, go, anchor, dil_t, &mut nx.grad, &mut nw.grad,
+                    &nx.value,
+                    &nw.value,
+                    go,
+                    anchor,
+                    dil_t,
+                    &mut nx.grad,
+                    &mut nw.grad,
                 );
             }
             Op::AvgPoolTime(x, factor) => {
@@ -825,28 +827,55 @@ mod tests {
     use rand::SeedableRng;
 
     /// Finite-difference check of `∂loss/∂leaf` for every element of `leaf`.
+    ///
+    /// Elements whose perturbation crosses a non-differentiable point (the
+    /// leaky-ReLU kink, a max-pool argmax switch) are skipped: there the
+    /// central difference estimates a subgradient average, not the one-sided
+    /// derivative the backward pass correctly returns. Kinks are detected
+    /// through the forward/backward one-sided difference asymmetry: the
+    /// step is halved until the asymmetry is negligible (a nearby kink has
+    /// left the window and smooth curvature has decayed), and only then is
+    /// the central difference trusted. Elements still asymmetric at the
+    /// smallest step (a kink essentially at the operating point) are
+    /// skipped, but never more than half of the leaf.
     fn gradcheck(g: &mut Graph, loss: VarId, leaf: VarId, tol: f32) {
         g.forward();
         g.backward(loss);
         let analytic = g.grad(leaf).clone();
         let n = g.value(leaf).numel();
-        let eps = 1e-2f32;
+        let mut checked = 0usize;
         for i in 0..n {
             let orig = g.value(leaf).data()[i];
-            g.leaf_value_mut(leaf).data_mut()[i] = orig + eps;
-            g.forward();
-            let lp = g.value(loss).data()[0];
-            g.leaf_value_mut(leaf).data_mut()[i] = orig - eps;
-            g.forward();
-            let lm = g.value(loss).data()[0];
+            let mut loss_at = |v: f32| -> f32 {
+                g.leaf_value_mut(leaf).data_mut()[i] = v;
+                g.forward();
+                g.value(loss).data()[0]
+            };
+            let l0 = loss_at(orig);
+            let mut h = 1e-2f32;
+            let mut num = None;
+            for _ in 0..4 {
+                let lp = loss_at(orig + h);
+                let lm = loss_at(orig - h);
+                let fwd = (lp - l0) / h;
+                let bwd = (l0 - lm) / h;
+                let scale = 1.0 + fwd.abs().max(bwd.abs());
+                if (fwd - bwd).abs() <= 0.25 * tol * scale {
+                    num = Some((lp - lm) / (2.0 * h));
+                    break;
+                }
+                h *= 0.5;
+            }
             g.leaf_value_mut(leaf).data_mut()[i] = orig;
-            let num = (lp - lm) / (2.0 * eps);
+            let Some(num) = num else { continue };
             let a = analytic.data()[i];
             assert!(
                 (num - a).abs() < tol * (1.0 + num.abs().max(a.abs())),
                 "grad[{i}]: numeric {num} vs analytic {a}"
             );
+            checked += 1;
         }
+        assert!(checked * 2 >= n, "too many kink-skipped elements: {checked}/{n} checked");
         g.forward();
     }
 

@@ -49,8 +49,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let z = noise_input(&[1, 32, 32], 0.1, &mut rng);
         let mean = z.mean();
-        let var = z.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
-            / z.numel() as f32;
+        let var = z.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / z.numel() as f32;
         assert!((var.sqrt() - 0.1).abs() < 0.01);
     }
 

@@ -13,12 +13,7 @@ use crate::Tensor;
 /// Panics on rank or extent mismatches, or even kernel extents.
 pub fn check_shapes(x: &Tensor, w: &Tensor) -> (usize, usize, usize, usize, usize, usize) {
     assert_eq!(x.shape().len(), 3, "conv2d input must be [C,H,W], got {:?}", x.shape());
-    assert_eq!(
-        w.shape().len(),
-        4,
-        "conv2d weight must be [Cout,Cin,KH,KW], got {:?}",
-        w.shape()
-    );
+    assert_eq!(w.shape().len(), 4, "conv2d weight must be [Cout,Cin,KH,KW], got {:?}", w.shape());
     let (cin, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2]);
     let (cout, wcin, kh, kw) = (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
     assert_eq!(cin, wcin, "conv2d channel mismatch: input {cin}, weight {wcin}");
@@ -177,7 +172,10 @@ mod tests {
     #[test]
     fn backward_matches_finite_differences() {
         let x = Tensor::from_vec(&[2, 3, 4], (0..24).map(|v| (v as f32 * 0.3).sin()).collect());
-        let w = Tensor::from_vec(&[2, 2, 3, 3], (0..36).map(|v| (v as f32 * 0.7).cos() * 0.2).collect());
+        let w = Tensor::from_vec(
+            &[2, 2, 3, 3],
+            (0..36).map(|v| (v as f32 * 0.7).cos() * 0.2).collect(),
+        );
         let mut out = Tensor::zeros(&[2, 3, 4]);
         forward(&x, &w, 1, 1, &mut out);
         // Loss = sum(out); upstream gradient of ones.

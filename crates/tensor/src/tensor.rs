@@ -113,11 +113,7 @@ impl Tensor {
     ///
     /// Panics if the element counts differ.
     pub fn reshape(mut self, shape: &[usize]) -> Self {
-        assert_eq!(
-            self.numel(),
-            shape.iter().product::<usize>(),
-            "reshape element count mismatch"
-        );
+        assert_eq!(self.numel(), shape.iter().product::<usize>(), "reshape element count mismatch");
         self.shape = shape.to_vec();
         self
     }
@@ -224,8 +220,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let t = Tensor::rand_normal(&[10_000], 2.0, &mut rng);
         let mean = t.mean();
-        let var = t.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
-            / t.numel() as f32;
+        let var = t.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / t.numel() as f32;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }

@@ -30,9 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let truth = &recording.f0.maternal;
     let n = truth.len();
-    let mean_err: f64 = (n / 10..9 * n / 10)
-        .map(|i| (estimated[i] - truth[i]).abs())
-        .sum::<f64>()
+    let mean_err: f64 = (n / 10..9 * n / 10).map(|i| (estimated[i] - truth[i]).abs()).sum::<f64>()
         / (8 * n / 10) as f64;
     println!("maternal f0 tracking: mean error {mean_err:.3} Hz over {:.0} s", n as f64 / fs);
 

@@ -39,18 +39,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let window = &recording.mixed[lambda][lo..hi];
             dc[lambda] = dc_level(window);
             let pulsatile: Vec<f64> = window.iter().map(|&v| v - dc[lambda]).collect();
-            let tracks = vec![
-                recording.f0.maternal[lo..hi].to_vec(),
-                recording.f0.fetal[lo..hi].to_vec(),
-            ];
+            let tracks =
+                vec![recording.f0.maternal[lo..hi].to_vec(), recording.f0.fetal[lo..hi].to_vec()];
             let result = separate(&pulsatile, fs, &tracks, &cfg)?;
             ac[lambda] = ac_amplitude(&result.sources[1]);
         }
         let r = modulation_ratio(ac[0], dc[0], ac[1], dc[1]);
-        println!(
-            "draw at {:>6.1} s: R = {:.3}, SaO2 (blood) = {:.3}",
-            draw.time_s, r, draw.sao2
-        );
+        println!("draw at {:>6.1} s: R = {:.3}, SaO2 (blood) = {:.3}", draw.time_s, r, draw.sao2);
         ratios.push(r);
         sao2.push(draw.sao2);
     }

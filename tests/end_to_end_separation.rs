@@ -95,9 +95,7 @@ fn deterministic_given_seeds() {
 
 #[test]
 fn all_six_baselines_run_on_a_table1_mix() {
-    use dhf::baselines::{
-        emd::Emd, nmf::Nmf, repet::Repet, repet::RepetExtended, vmd::Vmd,
-    };
+    use dhf::baselines::{emd::Emd, nmf::Nmf, repet::Repet, repet::RepetExtended, vmd::Vmd};
     let mix = table1::mixed_signal_with_duration(1, 9, 40.0);
     let observed = band_limit(&mix.samples, mix.fs, 12.0).unwrap();
     let tracks = mix.f0_tracks();

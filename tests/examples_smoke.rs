@@ -1,0 +1,119 @@
+//! Miniature versions of the four `examples/*.rs` main paths, so the
+//! examples' underlying flows cannot silently rot. Sizes are cut far below
+//! the examples' defaults (CI additionally compiles the examples
+//! themselves via `cargo build --examples`).
+
+use dhf::baselines::{masking::SpectralMasking, SeparationContext, Separator};
+use dhf::core::f0::F0Estimator;
+use dhf::core::{separate, DhfConfig};
+use dhf::dsp::filter::band_limit;
+use dhf::metrics::sdr_db;
+use dhf::oximetry::{ac_amplitude, dc_level, modulation_ratio, Calibration};
+use dhf::synth::invivo::{simulate, InvivoConfig};
+use dhf::synth::table1;
+
+/// A tiny config completing in a couple of seconds.
+fn smoke_cfg() -> DhfConfig {
+    let mut cfg = DhfConfig::fast();
+    cfg.inpaint.iterations = 25;
+    cfg
+}
+
+/// `examples/quickstart.rs`: drifting two-source mix, separate, score.
+#[test]
+fn quickstart_path() {
+    let fs = 100.0;
+    let n = 3000;
+    let track1: Vec<f64> = (0..n)
+        .map(|i| 1.35 + 0.30 * (i as f64 / n as f64 * std::f64::consts::TAU * 2.0).sin())
+        .collect();
+    let track2: Vec<f64> = (0..n)
+        .map(|i| 2.50 + 0.45 * (i as f64 / n as f64 * std::f64::consts::TAU * 3.0).cos())
+        .collect();
+    let render = |track: &[f64], amp: f64| -> Vec<f64> {
+        let mut phase = 0.0;
+        track
+            .iter()
+            .map(|&f| {
+                phase += std::f64::consts::TAU * f / fs;
+                amp * (phase.sin() + 0.4 * (2.0 * phase).sin())
+            })
+            .collect()
+    };
+    let s1 = render(&track1, 1.0);
+    let s2 = render(&track2, 0.3);
+    let mixed: Vec<f64> = s1.iter().zip(&s2).map(|(a, b)| a + b).collect();
+
+    let result = separate(&mixed, fs, &[track1, track2], &smoke_cfg()).unwrap();
+    assert_eq!(result.sources.len(), 2);
+    assert!(result.sources.iter().all(|s| s.len() == n));
+    // The quickstart prints SDRs; here they only need to be computable.
+    let _ = sdr_db(&s1[300..n - 300], &result.sources[0][300..n - 300]);
+}
+
+/// `examples/synthetic_separation.rs`: Table-1 mix, band-limit, DHF vs
+/// spectral masking.
+#[test]
+fn synthetic_separation_path() {
+    let mix = table1::mixed_signal_with_duration(1, 42, 25.0);
+    let observed = band_limit(&mix.samples, mix.fs, 12.0).unwrap();
+    let tracks = mix.f0_tracks();
+
+    let dhf = separate(&observed, mix.fs, &tracks, &smoke_cfg()).unwrap();
+    assert_eq!(dhf.sources.len(), mix.num_sources());
+
+    let ctx = SeparationContext { fs: mix.fs, f0_tracks: &tracks };
+    let masked = SpectralMasking::default().separate(&observed, &ctx).unwrap();
+    assert_eq!(masked.len(), mix.num_sources());
+}
+
+/// `examples/f0_tracking.rs`: estimate the maternal track from the mixed
+/// channel; it must stay inside the configured band.
+#[test]
+fn f0_tracking_path() {
+    let recording = simulate(&InvivoConfig::sheep1().scaled(0.02));
+    let fs = recording.config.fs;
+    let window = &recording.mixed[0];
+    let dc = dc_level(window);
+    let pulsatile: Vec<f64> = window.iter().map(|&v| v - dc).collect();
+
+    let band = recording.config.maternal_band;
+    let estimator = F0Estimator::new(band.0 - 0.1, band.1 + 0.1).unwrap();
+    let estimated = estimator.estimate_track(&pulsatile, fs).unwrap();
+    assert_eq!(estimated.len(), pulsatile.len());
+    assert!(estimated.iter().all(|&f| f >= band.0 - 0.1 - 1e-9 && f <= band.1 + 0.1 + 1e-9));
+}
+
+/// `examples/fetal_monitoring.rs`: modulation ratios at the blood draws
+/// and the inverse-linear SpO2 calibration.
+#[test]
+fn fetal_monitoring_path() {
+    let recording = simulate(&InvivoConfig::sheep2().scaled(0.05));
+    let fs = recording.config.fs;
+    assert!(recording.draws.len() >= 2, "protocol must retain blood draws");
+
+    let half = (10.0 * fs) as usize;
+    let mut ratios = Vec::new();
+    let mut sao2 = Vec::new();
+    for draw in &recording.draws {
+        let centre = recording.sample_at(draw.time_s);
+        let lo = centre.saturating_sub(half);
+        let hi = (centre + half).min(recording.len());
+        let mut ac = [0.0f64; 2];
+        let mut dc = [0.0f64; 2];
+        for (lambda, mixed) in recording.mixed.iter().enumerate() {
+            let window = &mixed[lo..hi];
+            dc[lambda] = dc_level(window);
+            // Oracle fetal signal stands in for the separated estimate in
+            // this miniature run.
+            ac[lambda] = ac_amplitude(&recording.fetal_truth[lambda][lo..hi]);
+        }
+        ratios.push(modulation_ratio(ac[0], dc[0], ac[1], dc[1]));
+        sao2.push(draw.sao2);
+    }
+
+    let cal = Calibration::fit(&ratios, &sao2);
+    let predicted = cal.predict_many(&ratios);
+    assert_eq!(predicted.len(), sao2.len());
+    assert!(predicted.iter().all(|p| p.is_finite()));
+}

@@ -50,8 +50,8 @@ fn unseparated_signal_degrades_sao2_recovery() {
         let lo = centre.saturating_sub(half);
         let hi = (centre + half).min(recording.len());
         let mut r = [[0.0f64; 2]; 2];
-        for lambda in 0..2 {
-            let window = &recording.mixed[lambda][lo..hi];
+        for (lambda, mixed) in recording.mixed.iter().enumerate() {
+            let window = &mixed[lo..hi];
             let dc = dc_level(window);
             let pulsatile: Vec<f64> = window.iter().map(|&v| v - dc).collect();
             r[0][lambda] = ac_amplitude(&recording.fetal_truth[lambda][lo..hi]) / dc;
@@ -102,10 +102,7 @@ fn fetal_estimation_with_dhf_tracks_oracle_on_one_window() {
     let window = &recording.mixed[0][lo..hi];
     let dc = dc_level(window);
     let pulsatile: Vec<f64> = window.iter().map(|&v| v - dc).collect();
-    let tracks = vec![
-        recording.f0.maternal[lo..hi].to_vec(),
-        recording.f0.fetal[lo..hi].to_vec(),
-    ];
+    let tracks = vec![recording.f0.maternal[lo..hi].to_vec(), recording.f0.fetal[lo..hi].to_vec()];
     let mut cfg = DhfConfig::fast();
     cfg.inpaint.iterations = 50;
     let result = separate(&pulsatile, fs, &tracks, &cfg).unwrap();

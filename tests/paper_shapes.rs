@@ -8,48 +8,73 @@ use dhf::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// A harmonic-ridge image with a hidden band of frames, and the MSE a
-/// variant achieves on the hidden cells after a fixed budget.
-fn hidden_mse_for(variant: PriorVariant, iters: usize) -> f64 {
+/// The paper's masking situation in miniature: a constant target harmonic
+/// comb, an interfering source whose harmonic ridges sweep across the
+/// spectrogram and are concealed (±1 bin). Returns the MSE a variant
+/// achieves on the *hidden target-ridge cells* — the cells the DHF
+/// pipeline needs the prior to recover — after a fixed budget.
+fn hidden_ridge_mse_for(variant: PriorVariant, iters: usize, seed: u64) -> f64 {
     let (bins, frames) = (32, 24);
+    let ridge_rows = [(4usize, 0.9f32), (8, 0.5), (12, 0.25), (16, 0.15)];
     let mut target = Tensor::filled(&[1, bins, frames], 0.05);
-    for (row, amp) in [(4usize, 0.9f32), (8, 0.5), (12, 0.25), (16, 0.15)] {
+    for (row, amp) in ridge_rows {
         for m in 0..frames {
             target.data_mut()[row * frames + m] = amp;
         }
     }
+    // Interferer fundamental sweeps 2.6 → 5.4 bins; its first six
+    // harmonics are concealed in every frame, so different rows are
+    // hidden at different times (unlike a blanket time gap, this is what
+    // the DHF mask of §3.3 produces).
     let mut mask = Tensor::filled(&[1, bins, frames], 1.0);
-    for m in 9..15 {
-        for b in 0..bins {
-            mask.data_mut()[b * frames + m] = 0.0;
+    for m in 0..frames {
+        let g0 = 2.6 + 2.8 * m as f64 / frames as f64;
+        for k in 1..=6 {
+            let centre = (g0 * k as f64).round() as isize;
+            for db in -1..=1isize {
+                let b = centre + db;
+                if (0..bins as isize).contains(&b) {
+                    mask.data_mut()[b as usize * frames + m] = 0.0;
+                }
+            }
         }
     }
     let base = NetConfig { base_channels: 6, depth: 1, ..NetConfig::default() };
     let cfg = variant.configure(&base);
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut net = DeepPriorNet::new(&cfg, bins, frames, &mut rng).unwrap();
     net.fit(&target, &mask, iters, 0.02);
     let out = net.output_image();
     let mut err = 0.0;
     let mut count = 0;
-    for i in 0..target.numel() {
-        if mask.data()[i] < 0.5 {
-            let d = (out.data()[i] - target.data()[i]) as f64;
-            err += d * d;
-            count += 1;
+    for (row, _) in ridge_rows {
+        for m in 0..frames {
+            let i = row * frames + m;
+            if mask.data()[i] < 0.5 {
+                let d = (out.data()[i] - target.data()[i]) as f64;
+                err += d * d;
+                count += 1;
+            }
         }
     }
     err / count as f64
 }
 
 /// Figure-3 shape: the spectrally accurate design (anchor 1, no frequency
-/// pooling) in-paints the hidden ridge segment better than the Zhang-style
-/// harmonic baseline (anchor > 1 with frequency max-pooling) under the
-/// same budget — the paper's central ablation claim.
+/// pooling) in-paints the hidden target-ridge cells better than the
+/// Zhang-style harmonic baseline (anchor > 1 with frequency max-pooling)
+/// under the same budget — the paper's central ablation claim. Deep-prior
+/// fits are noisy, so the claim is asserted on the mean over a fixed set
+/// of seeds rather than a single draw.
 #[test]
 fn spac_prior_inpaints_better_than_anchor2_baseline() {
-    let baseline = hidden_mse_for(PriorVariant::HarmonicBaseline, 200);
-    let spac = hidden_mse_for(PriorVariant::SpectrallyAccurate, 200);
+    let seeds = [1u64, 7, 13, 42];
+    let mean = |variant: PriorVariant| -> f64 {
+        seeds.iter().map(|&s| hidden_ridge_mse_for(variant, 200, s)).sum::<f64>()
+            / seeds.len() as f64
+    };
+    let baseline = mean(PriorVariant::HarmonicBaseline);
+    let spac = mean(PriorVariant::SpectrallyAccurate);
     assert!(
         spac < baseline,
         "SpAc {spac:.2e} must beat the anchor>1+pooling baseline {baseline:.2e}"
@@ -90,8 +115,12 @@ fn dhf_beats_masking_on_weak_crossover_source() {
 
     let ctx = SeparationContext { fs, f0_tracks: &tracks };
     let masking = SpectralMasking::default().separate(&mixed, &ctx).unwrap();
-    let mut cfg = DhfConfig::fast();
-    cfg.inpaint.iterations = 80;
+    // The full-size configuration: comb masking with oracle tracks is a
+    // strong baseline on a weak crossover source, and the reduced
+    // `fast()` network cannot out-resolve it (the fig5 bench shows the
+    // same gap at paper scale). Only the iteration budget is trimmed.
+    let mut cfg = DhfConfig::default();
+    cfg.inpaint.iterations = 120;
     let dhf = separate(&mixed, fs, &tracks, &cfg).unwrap();
 
     let lo = 500;
@@ -137,8 +166,7 @@ fn separation_quality_bounds_spo2_accuracy() {
         raw_r.push(raw[0] / raw[1]);
         sao2.push(draw.sao2);
     }
-    let c_oracle =
-        pearson(&Calibration::fit(&oracle_r, &sao2).predict_many(&oracle_r), &sao2);
+    let c_oracle = pearson(&Calibration::fit(&oracle_r, &sao2).predict_many(&oracle_r), &sao2);
     let c_raw = pearson(&Calibration::fit(&raw_r, &sao2).predict_many(&raw_r), &sao2);
     assert!(c_oracle > 0.9, "oracle chain must be near-perfect, got {c_oracle:.3}");
     assert!(c_oracle > c_raw, "oracle {c_oracle:.3} must beat raw {c_raw:.3}");

@@ -3,6 +3,7 @@
 use dhf::core::PatternAligner;
 use dhf::dsp::fft::{fft, ifft};
 use dhf::dsp::stft::{istft, stft, StftConfig};
+use dhf::dsp::window::{cola_deviation, WindowKind};
 use dhf::dsp::Complex;
 use dhf::metrics::{average_mse, average_sdr_db, mse, sdr_db};
 use dhf::synth::{PeriodSchedule, QuasiPeriodicSource, Template};
@@ -37,6 +38,51 @@ proptest! {
         let et: f64 = x.iter().map(|c| c.norm_sqr()).sum();
         let ef: f64 = spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / len as f64;
         prop_assert!((et - ef).abs() < 1e-6 * et.max(1.0));
+    }
+
+    /// Hann and rectangular windows satisfy COLA at every hop that evenly
+    /// divides half the window — the precondition the ISTFT relies on.
+    #[test]
+    fn window_cola_at_dividing_hops(exp in 5u32..10, div in 1u32..4) {
+        let len = 1usize << exp;           // 32..512
+        let hop = len >> div;              // len/2, len/4, len/8
+        let hann = WindowKind::Hann.samples(len);
+        prop_assert!(
+            cola_deviation(&hann, hop) < 1e-12,
+            "Hann len {} hop {} deviates", len, hop
+        );
+        let rect = WindowKind::Rectangular.samples(len);
+        prop_assert!(
+            cola_deviation(&rect, hop) < 1e-12,
+            "Rect len {} hop {} deviates", len, hop
+        );
+    }
+
+    /// STFT → ISTFT is a perfect interior reconstruction for *any* COLA
+    /// window/hop combination, not just the pipeline default.
+    #[test]
+    fn stft_istft_perfect_reconstruction(exp in 5u32..9, div in 2u32..4, seed in 0u64..500) {
+        let window = 1usize << exp;        // 32..256
+        let hop = window >> div;           // window/4 or window/8
+        let n = window * 10;
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64;
+                (t * 0.061 + seed as f64).sin()
+                    + 0.4 * (t * 0.173).cos()
+                    + 0.1 * ((i as u64).wrapping_mul(seed + 11) % 997) as f64 / 997.0
+            })
+            .collect();
+        let cfg = StftConfig::new(window, hop, 40.0).unwrap();
+        let spec = stft(&x, &cfg).unwrap();
+        let y = istft(&spec);
+        prop_assert_eq!(y.len(), n);
+        for i in window..n - window {
+            prop_assert!(
+                (x[i] - y[i]).abs() < 1e-8,
+                "window {} hop {} sample {}: {} vs {}", window, hop, i, x[i], y[i]
+            );
+        }
     }
 
     /// STFT → ISTFT reconstructs the interior exactly for COLA configs.

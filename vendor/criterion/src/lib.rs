@@ -1,0 +1,187 @@
+//! Minimal, dependency-free stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API subset the DHF kernel benches use: [`Criterion`] with
+//! `bench_function`, builder-style `sample_size` / `measurement_time`
+//! configuration, a [`Bencher`] with `iter`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is a straightforward
+//! warmup-then-sample wall-clock loop reporting min / mean / max per
+//! iteration — no statistics engine, plots or HTML reports.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub use std::hint::black_box;
+
+/// Benchmark driver: times closures and prints a one-line summary each.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the total time budget for the timed samples.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up time before sampling starts.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Times `f` (which receives a [`Bencher`]) and prints a summary line.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+
+        // Warm up and estimate the per-iteration cost.
+        let warm_up_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_up_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            bencher.iters = 1;
+            f(&mut bencher);
+            warm_iters += 1;
+        }
+        let per_iter = warm_up_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Choose an iteration count so each sample is measurable but the
+        // whole benchmark respects the measurement-time budget.
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = (budget / per_iter.max(1e-9)).clamp(1.0, 1e9) as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.iters = iters_per_sample;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_secs_f64() / iters_per_sample as f64);
+        }
+
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{name:<40} time: [{} {} {}]  ({} samples x {} iters)",
+            format_time(min),
+            format_time(mean),
+            format_time(max),
+            samples.len(),
+            iters_per_sample,
+        );
+        self
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} us", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs and times `routine` for the harness-chosen iteration count.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Declares a group of benchmark functions, optionally with a shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            calls += 1;
+            b.iter(|| 2 + 2)
+        });
+        assert!(calls >= 4, "expected warmup + 3 samples, got {calls}");
+    }
+
+    #[test]
+    fn format_time_picks_sensible_units() {
+        assert!(format_time(3.2e-9).ends_with("ns"));
+        assert!(format_time(4.5e-6).ends_with("us"));
+        assert!(format_time(7.8e-3).ends_with("ms"));
+        assert!(format_time(2.5).ends_with('s'));
+    }
+}

@@ -1,0 +1,170 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! Implements the subset the DHF test-suite uses: the [`proptest!`] macro
+//! (with an optional `#![proptest_config(..)]` inner attribute), range
+//! strategies over integers and floats, and the `prop_assert*` family.
+//!
+//! Unlike upstream proptest there is no shrinking and no failure
+//! persistence: each test draws `cases` deterministic samples (seeded from
+//! the test's module path and name, so runs are reproducible) and reports
+//! the first failing input verbatim.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares a block of property tests.
+///
+/// Supported grammar (a subset of upstream proptest):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///
+///     #[test]
+///     fn my_property(x in 0usize..100, y in 0.0f64..1.0) {
+///         prop_assert!(x as f64 * y < 100.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(err) = outcome {
+                        let mut inputs = ::std::string::String::new();
+                        $(
+                            inputs.push_str(stringify!($arg));
+                            inputs.push_str(" = ");
+                            inputs.push_str(&::std::format!("{:?}", $arg));
+                            inputs.push_str("; ");
+                        )+
+                        panic!(
+                            "property `{}` failed at case {}/{} with {}\n{}",
+                            stringify!($name), case + 1, config.cases, inputs, err,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (with its inputs reported) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r,
+        );
+    }};
+}
+
+/// Asserts two expressions are unequal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l,
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_are_respected(a in 3usize..10, b in -2.0f64..2.0, c in 1u64..=4) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((-2.0..2.0).contains(&b));
+            prop_assert!((1..=4).contains(&c));
+        }
+
+        #[test]
+        fn arithmetic_holds(x in 0i64..100, y in 0i64..100) {
+            prop_assert_eq!(x + y, y + x);
+            prop_assert_ne!(x - y - 1, x - y);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed at case 1/5")]
+    fn failing_property_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(5))]
+
+            #[allow(unused)]
+            fn always_fails(v in 0u64..10) {
+                prop_assert!(v > 100, "v was {}", v);
+            }
+        }
+        always_fails();
+    }
+}

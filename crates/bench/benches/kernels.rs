@@ -20,11 +20,46 @@ fn bench_fft(c: &mut Criterion) {
     c.bench_function("fft_real_6000_bluestein", |b| b.iter(|| black_box(fft_real(black_box(&y)))));
 }
 
+fn bench_fft_plan_cache(c: &mut Criterion) {
+    use dhf_dsp::fft::FftPlanner;
+    let x: Vec<f64> = (0..512).map(|i| (i as f64 * 0.23).sin()).collect();
+    // Hot path: one planner reused across frames — twiddles, bit-reversal
+    // and scratch are built exactly once.
+    let mut planner = FftPlanner::new();
+    let mut half = Vec::new();
+    c.bench_function("fft_real_512_cached_plan", |b| {
+        b.iter(|| {
+            planner.fft_real_into(black_box(&x), &mut half);
+            black_box(&half);
+        })
+    });
+    assert_eq!(planner.plans_built(), 1, "repeated same-size transforms must share one plan");
+    // Cold path: a fresh planner per transform rebuilds every table — the
+    // cost the cache removes from the per-frame hot loop.
+    c.bench_function("fft_real_512_cold_plan", |b| {
+        b.iter(|| {
+            let mut p = FftPlanner::new();
+            let mut h = Vec::new();
+            p.fft_real_into(black_box(&x), &mut h);
+            black_box(h)
+        })
+    });
+}
+
 fn bench_stft(c: &mut Criterion) {
     let fs = 100.0;
     let x: Vec<f64> = (0..9000).map(|i| (i as f64 * 0.11).sin()).collect();
     let cfg = StftConfig::new(512, 128, fs).unwrap();
     c.bench_function("stft_9000x512", |b| b.iter(|| black_box(stft(black_box(&x), &cfg).unwrap())));
+    // Engine variant: reuses the spectrogram buffer as well as the plan.
+    let mut engine = dhf_dsp::StftEngine::new();
+    let mut spec = engine.stft(&x, &cfg).unwrap();
+    c.bench_function("stft_9000x512_engine_reused", |b| {
+        b.iter(|| {
+            engine.stft_into(black_box(&x), &cfg, &mut spec).unwrap();
+            black_box(spec.frames());
+        })
+    });
 }
 
 fn bench_harmonic_conv(c: &mut Criterion) {
@@ -82,7 +117,7 @@ fn config() -> Criterion {
 criterion_group! {
     name = kernels;
     config = config();
-    targets = bench_fft, bench_stft, bench_harmonic_conv, bench_deep_prior_step,
-              bench_pattern_alignment
+    targets = bench_fft, bench_fft_plan_cache, bench_stft, bench_harmonic_conv,
+              bench_deep_prior_step, bench_pattern_alignment
 }
 criterion_main!(kernels);

@@ -1,0 +1,159 @@
+//! Streaming-engine throughput: samples/sec and sessions/sec of the
+//! chunked online separator versus offline [`dhf_core::separate`], plus
+//! the plan-cache invariant (steady-state chunks build no new FFT plans —
+//! same-size repeated transforms reuse one cached plan, so the hot path
+//! does no per-frame twiddle recomputation).
+//!
+//! Knobs: `DHF_FAST=1` shrinks the workload for smoke runs.
+
+use criterion::{criterion_group, Criterion};
+use dhf_bench::{fast_mode, Stopwatch};
+use dhf_core::DhfConfig;
+use dhf_stream::{separate_streamed, StreamingConfig, StreamingSeparator};
+use std::hint::black_box;
+
+/// Two drifting quasi-periodic sources, rendered long enough for many
+/// chunks.
+fn make_mix(fs: f64, n: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let track1: Vec<f64> = (0..n)
+        .map(|i| 1.35 + 0.30 * (i as f64 / n as f64 * std::f64::consts::TAU * 6.0).sin())
+        .collect();
+    let track2: Vec<f64> = (0..n)
+        .map(|i| 2.50 + 0.45 * (i as f64 / n as f64 * std::f64::consts::TAU * 9.0).cos())
+        .collect();
+    let render = |track: &[f64], amp: f64, h2: f64| -> Vec<f64> {
+        let mut phase = 0.0;
+        track
+            .iter()
+            .map(|&f| {
+                phase += std::f64::consts::TAU * f / fs;
+                amp * (phase.sin() + h2 * (2.0 * phase).sin())
+            })
+            .collect()
+    };
+    let s1 = render(&track1, 1.0, 0.5);
+    let s2 = render(&track2, 0.35, 0.3);
+    let mix: Vec<f64> = s1.iter().zip(&s2).map(|(a, b)| a + b).collect();
+    (mix, vec![track1, track2])
+}
+
+/// Deterministic low-cost pipeline so the bench isolates engine overhead
+/// (chunking, stitching, FFT planning) from deep-prior training time.
+fn bench_dhf_cfg() -> DhfConfig {
+    DhfConfig::fast().with_harmonic_interp()
+}
+
+fn stream_cfg() -> StreamingConfig {
+    StreamingConfig::new(3000, 600, bench_dhf_cfg()).expect("valid streaming config")
+}
+
+fn bench_offline(c: &mut Criterion) {
+    let fs = 100.0;
+    let n = if fast_mode() { 6000 } else { 9000 };
+    let (mix, tracks) = make_mix(fs, n);
+    c.bench_function("offline_separate", |b| {
+        b.iter(|| {
+            black_box(
+                dhf_core::separate(black_box(&mix), fs, black_box(&tracks), &bench_dhf_cfg())
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_streaming_session(c: &mut Criterion) {
+    let fs = 100.0;
+    let n = if fast_mode() { 6000 } else { 9000 };
+    let (mix, tracks) = make_mix(fs, n);
+    let cfg = stream_cfg();
+    c.bench_function("streaming_full_session", |b| {
+        b.iter(|| black_box(separate_streamed(black_box(&mix), fs, &tracks, &cfg).unwrap()))
+    });
+}
+
+fn bench_streaming_steady_state(c: &mut Criterion) {
+    let fs = 100.0;
+    let n = 9000;
+    let (mix, tracks) = make_mix(fs, n);
+    let cfg = stream_cfg();
+    let hop = cfg.hop();
+    let mut sep = StreamingSeparator::new(fs, 2, cfg).expect("session");
+    // Warm up: one full chunk builds every plan the stream will need.
+    let t: Vec<&[f64]> = tracks.iter().map(|t| &t[..3000]).collect();
+    sep.push(&mix[..3000], &t).expect("warm-up push");
+    let plans_after_first = sep.fft_plans_built();
+    let mut offset = 3000usize;
+    c.bench_function("streaming_one_chunk_advance", |b| {
+        b.iter(|| {
+            // Feed exactly one hop (cycling through the source material),
+            // which triggers exactly one chunk separation.
+            if offset + hop > n {
+                offset = 3000;
+            }
+            let t: Vec<&[f64]> = tracks.iter().map(|t| &t[offset..offset + hop]).collect();
+            let blocks = sep.push(&mix[offset..offset + hop], &t).expect("push");
+            offset += hop;
+            black_box(blocks)
+        })
+    });
+    // The plan-cache invariant: every steady-state chunk reused the plans
+    // built by chunk 1 — no per-frame (or even per-chunk) twiddle
+    // recomputation.
+    assert_eq!(
+        sep.fft_plans_built(),
+        plans_after_first,
+        "steady-state chunks must not build FFT plans"
+    );
+    println!(
+        "plan cache: {} plans after chunk 1, {} after {} chunks — reuse holds",
+        plans_after_first,
+        sep.fft_plans_built(),
+        (sep.samples_emitted() / hop.max(1)).max(1),
+    );
+}
+
+/// Wall-clock throughput summary: samples/sec per session and concurrent
+/// sessions/sec-of-signal a single core sustains in real time.
+fn throughput_summary() {
+    let fs = 100.0;
+    let n = if fast_mode() { 6000 } else { 18000 };
+    let (mix, tracks) = make_mix(fs, n);
+    let cfg = stream_cfg();
+
+    let sw = Stopwatch::start();
+    let (_, dropped) = separate_streamed(&mix, fs, &tracks, &cfg).expect("streamed");
+    let t_stream = sw.secs();
+
+    let sw = Stopwatch::start();
+    let _ = dhf_core::separate(&mix, fs, &tracks, &bench_dhf_cfg()).expect("offline");
+    let t_offline = sw.secs();
+
+    let signal_secs = n as f64 / fs;
+    let stream_sps = n as f64 / t_stream;
+    let offline_sps = n as f64 / t_offline;
+    // A session produces fs samples per wall-clock second; one core can
+    // interleave this many sessions while staying real-time.
+    let sessions = stream_sps / fs;
+    println!("\n== streaming throughput ({signal_secs:.0} s signal, fs {fs} Hz) ==");
+    println!("offline   : {:>10.0} samples/sec  ({:.2} s)", offline_sps, t_offline);
+    println!(
+        "streaming : {:>10.0} samples/sec  ({:.2} s, {dropped} dropped)",
+        stream_sps, t_stream
+    );
+    println!("capacity  : {sessions:>10.1} concurrent real-time sessions/core");
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = throughput;
+    config = config();
+    targets = bench_offline, bench_streaming_session, bench_streaming_steady_state
+}
+
+fn main() {
+    throughput();
+    throughput_summary();
+}

@@ -60,7 +60,10 @@ pub mod pipeline;
 pub use align::{PatternAligner, UnwarpedSignal};
 pub use inpaint::{InpaintConfig, InpaintMethod};
 pub use mask::HarmonicMask;
-pub use pipeline::{separate, DhfConfig, RoundReport, SeparationOrder, SeparationResult};
+pub use pipeline::{
+    separate, validate_tracks, DhfConfig, RoundContext, RoundReport, SeparationOrder,
+    SeparationResult,
+};
 
 /// Errors from the DHF pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +87,17 @@ pub enum DhfError {
     },
     /// A track contains non-positive frequencies.
     NonPositiveFrequency,
+    /// Up-front track validation found a non-positive (or non-finite)
+    /// frequency, with its exact location. Unlike
+    /// [`DhfError::NonPositiveFrequency`] (raised from deep inside the
+    /// aligner), this is reported by [`pipeline::validate_tracks`] before
+    /// any separation round runs.
+    NonPositiveTrackValue {
+        /// Index of the offending track (source).
+        track: usize,
+        /// Sample index of the first offending value.
+        sample: usize,
+    },
     /// Underlying DSP failure.
     Dsp(String),
     /// Underlying network-construction failure.
@@ -102,6 +116,13 @@ impl std::fmt::Display for DhfError {
             }
             DhfError::NonPositiveFrequency => {
                 write!(f, "fundamental-frequency tracks must be strictly positive")
+            }
+            DhfError::NonPositiveTrackValue { track, sample } => {
+                write!(
+                    f,
+                    "f0 track {track} has a non-positive or non-finite value at sample {sample}; \
+                     tracks must be strictly positive"
+                )
             }
             DhfError::Dsp(msg) => write!(f, "dsp failure: {msg}"),
             DhfError::Net(msg) => write!(f, "network failure: {msg}"),

@@ -253,6 +253,76 @@ mod tests {
         assert_eq!(gain[0], 0.0);
     }
 
+    /// Magnitude image with a bright ridge along the bin of ratio 1.5
+    /// (bin 12) and a faint background, for significance-threshold tests.
+    fn ridge_magnitude(cfg: &StftConfig, frames: usize) -> Vec<f64> {
+        let bins = cfg.bins();
+        let mut mag = vec![0.01f64; bins * frames];
+        for m in 0..frames {
+            mag[12 * frames + m] = 1.0;
+        }
+        mag
+    }
+
+    #[test]
+    fn zero_threshold_conceals_unconditionally() {
+        let cfg = cfg();
+        let frames = 6;
+        let ratios = vec![vec![1.5; frames]];
+        let mag = ridge_magnitude(&cfg, frames);
+        let thresholded =
+            HarmonicMask::build_significant(&cfg, frames, &ratios, 3, 0.15, Some(&mag), 0.0);
+        let unconditional = HarmonicMask::build(&cfg, frames, &ratios, 3, 0.15);
+        // Factor 0 means every harmonic with any energy along its ridge is
+        // concealed — identical to the unconditional builder.
+        assert_eq!(thresholded, unconditional);
+        assert!(thresholded.hidden_fraction() > 0.0);
+    }
+
+    #[test]
+    fn huge_threshold_hides_nothing() {
+        let cfg = cfg();
+        let frames = 6;
+        let ratios = vec![vec![1.5; frames]];
+        let mag = ridge_magnitude(&cfg, frames);
+        let mask =
+            HarmonicMask::build_significant(&cfg, frames, &ratios, 3, 0.15, Some(&mag), 1e12);
+        assert_eq!(mask.hidden_fraction(), 0.0, "no ridge can clear an absurd threshold");
+    }
+
+    #[test]
+    fn hidden_fraction_is_monotone_non_increasing_in_threshold() {
+        let cfg = cfg();
+        let frames = 8;
+        // Two interferers with harmonics of very different ridge strengths
+        // so successive thresholds peel them off one by one.
+        let ratios = vec![vec![1.5; frames], vec![2.3; frames]];
+        let bins = cfg.bins();
+        let mut mag = vec![0.01f64; bins * frames];
+        for m in 0..frames {
+            mag[12 * frames + m] = 1.0; // 1.5 ridge: strong
+            mag[24 * frames + m] = 0.2; // 1.5 2nd harmonic: medium
+            mag[18 * frames + m] = 0.05; // 2.3 ridge: weak
+        }
+        let mut prev = f64::MAX;
+        for factor in [0.0, 1.0, 3.0, 10.0, 30.0, 100.0, 1e6] {
+            let mask =
+                HarmonicMask::build_significant(&cfg, frames, &ratios, 2, 0.15, Some(&mag), factor);
+            let hf = mask.hidden_fraction();
+            assert!(
+                hf <= prev,
+                "hidden fraction must not grow with the threshold: {hf} after {prev} at {factor}"
+            );
+            prev = hf;
+        }
+        // The sweep actually exercises the monotone path: the extremes
+        // differ.
+        let all = HarmonicMask::build_significant(&cfg, frames, &ratios, 2, 0.15, Some(&mag), 0.0);
+        let none = HarmonicMask::build_significant(&cfg, frames, &ratios, 2, 0.15, Some(&mag), 1e6);
+        assert!(all.hidden_fraction() > none.hidden_fraction());
+        assert_eq!(none.hidden_fraction(), 0.0);
+    }
+
     #[test]
     fn row_visibility_matches_cells() {
         let cfg = cfg();

@@ -6,7 +6,7 @@ use crate::mask::{target_comb_gain, HarmonicMask};
 use crate::phase::interpolate_masked_phase;
 use crate::DhfError;
 use dhf_dsp::fft::{fft_real, rfft_frequencies};
-use dhf_dsp::stft::{istft, stft, StftConfig};
+use dhf_dsp::stft::{Spectrogram, StftConfig, StftEngine};
 use dhf_nn::{ConvKind, NetConfig, TrainReport};
 
 /// Order in which sources are peeled off the mix.
@@ -145,8 +145,12 @@ pub struct RoundReport {
     /// Unwarped spectrogram frames.
     pub frames: usize,
     /// Hidden-cell flags (bin-major), for masked-energy-ratio analysis.
+    /// Empty when the round ran with
+    /// [`RoundContext::set_collect_reports`]`(false)`.
     pub hidden: Vec<bool>,
     /// Magnitude of the round's input (residual) spectrogram, bin-major.
+    /// Empty when the round ran with
+    /// [`RoundContext::set_collect_reports`]`(false)`.
     pub residual_magnitude: Vec<f64>,
 }
 
@@ -159,172 +163,301 @@ pub struct SeparationResult {
     pub rounds: Vec<RoundReport>,
 }
 
+/// Validates the f0 tracks for a `mixed` signal: at least one track, every
+/// track as long as the signal, every value strictly positive and finite.
+///
+/// Called up front by [`separate`] (and the streaming engine) so that bad
+/// tracks fail fast with a precise location instead of surfacing from deep
+/// inside a later round, after earlier rounds have already spent their
+/// deep-prior training budget.
+pub fn validate_tracks(mixed_len: usize, f0_tracks: &[Vec<f64>]) -> Result<(), DhfError> {
+    if f0_tracks.is_empty() {
+        return Err(DhfError::MissingTracks);
+    }
+    for (ti, t) in f0_tracks.iter().enumerate() {
+        if t.len() != mixed_len {
+            return Err(DhfError::TrackLengthMismatch { signal: mixed_len, track: t.len() });
+        }
+        if let Some(sample) = t.iter().position(|&f| !f.is_finite() || f <= 0.0) {
+            return Err(DhfError::NonPositiveTrackValue { track: ti, sample });
+        }
+    }
+    Ok(())
+}
+
 /// Runs the full iterative DHF separation.
 ///
 /// `f0_tracks` holds one fundamental-frequency track per source (one
-/// value per sample, strictly positive).
+/// value per sample, strictly positive). All tracks are validated up
+/// front: a non-positive or non-finite frequency anywhere in any track
+/// fails immediately with [`DhfError::NonPositiveTrackValue`] before any
+/// round runs.
 ///
 /// # Errors
 ///
-/// Returns [`DhfError`] variants for missing/mismatched tracks,
-/// non-positive frequencies, or signals too short to unwarp into one
-/// analysis window.
+/// Returns [`DhfError`] variants for missing/mismatched/non-positive
+/// tracks, or signals too short to unwarp into one analysis window.
 pub fn separate(
     mixed: &[f64],
     fs: f64,
     f0_tracks: &[Vec<f64>],
     cfg: &DhfConfig,
 ) -> Result<SeparationResult, DhfError> {
-    if f0_tracks.is_empty() {
-        return Err(DhfError::MissingTracks);
-    }
-    for t in f0_tracks {
-        if t.len() != mixed.len() {
-            return Err(DhfError::TrackLengthMismatch { signal: mixed.len(), track: t.len() });
-        }
-    }
-
-    let order = peel_order(mixed, fs, f0_tracks, cfg.order);
-    let mut residual = mixed.to_vec();
-    let mut sources = vec![Vec::new(); f0_tracks.len()];
-    let mut rounds = Vec::with_capacity(order.len());
-
-    for (round_idx, &si) in order.iter().enumerate() {
-        let (estimate, report) = separate_one(&residual, fs, f0_tracks, si, cfg, round_idx as u64)?;
-        for (r, &e) in residual.iter_mut().zip(&estimate) {
-            *r -= e;
-        }
-        sources[si] = estimate;
-        rounds.push(report);
-    }
-    Ok(SeparationResult { sources, rounds })
+    RoundContext::new(cfg).separate(mixed, fs, f0_tracks, 0)
 }
 
-/// One DHF round targeting source `si` of the given residual.
-fn separate_one(
-    residual: &[f64],
-    fs: f64,
-    f0_tracks: &[Vec<f64>],
-    si: usize,
-    cfg: &DhfConfig,
-    round_salt: u64,
-) -> Result<(Vec<f64>, RoundReport), DhfError> {
-    let target_track = &f0_tracks[si];
-    let aligner = PatternAligner::new(target_track, fs, cfg.fs_prime)?;
-    let un = aligner.unwarp(residual)?;
+/// Reusable machinery for DHF rounds: owns the [`StftEngine`] (cached FFT
+/// plans, window and frame scratch) and the spectrogram-sized work buffers
+/// so that running many rounds — the offline multi-round loop, or one
+/// round per chunk in the streaming engine — re-allocates nothing on the
+/// hot path.
+#[derive(Debug)]
+pub struct RoundContext {
+    cfg: DhfConfig,
+    engine: StftEngine,
+    /// Reused analysis spectrogram (overwritten by each round's STFT).
+    spec: Spectrogram,
+    /// Reused bin-major magnitude image.
+    magnitude: Vec<f64>,
+    /// Reused interferer ridge ratios (one inner vec per interferer).
+    ratios: Vec<Vec<f64>>,
+    /// Reused unwarped-domain resynthesis buffer.
+    y_un: Vec<f64>,
+    /// Reused residual buffer for the multi-round loop.
+    residual: Vec<f64>,
+    /// Whether [`RoundReport`]s carry their heavy diagnostic payloads
+    /// (hidden-cell flags, residual magnitude image).
+    collect_reports: bool,
+}
 
-    // Low-fundamental targets (e.g. respiration) cover few cycles, so the
-    // configured window would leave only a handful of frames; shrink it
-    // until the spectrogram has a usable time axis (≥ 4 windows).
-    let mut window = cfg.window;
-    let mut hop = cfg.hop;
-    while window > 32 && un.len() < 8 * window {
-        window /= 2;
-        hop = (window / 4).max(1);
-    }
-    if un.len() < window + hop {
-        return Err(DhfError::InputTooShort { needed: window + hop, got: un.len() });
-    }
-
-    let stft_cfg = StftConfig::new(window, hop, cfg.fs_prime)?;
-    let spec = stft(&un.samples, &stft_cfg)?;
-    let bins = spec.bins();
-    let frames = spec.frames();
-
-    // Interferer ridges: frequency ratios at each frame centre.
-    let mut ratios = Vec::new();
-    for (j, other) in f0_tracks.iter().enumerate() {
-        if j == si {
-            continue;
+impl RoundContext {
+    /// Creates a context for the given configuration. Buffers start empty
+    /// and grow to the working size on the first round.
+    pub fn new(cfg: &DhfConfig) -> Self {
+        // Placeholder layout only: the spectrogram's config, shape and
+        // data are fully overwritten by each round's `stft_into`.
+        let placeholder = StftConfig::new(128, 32, 16.0).expect("valid placeholder layout");
+        RoundContext {
+            cfg: cfg.clone(),
+            engine: StftEngine::new(),
+            spec: Spectrogram::from_parts(placeholder, 0, Vec::new(), 0),
+            magnitude: Vec::new(),
+            ratios: Vec::new(),
+            y_un: Vec::new(),
+            residual: Vec::new(),
+            collect_reports: true,
         }
-        let per_frame: Vec<f64> = (0..frames)
-            .map(|m| {
-                let centre = (m * hop + window / 2).min(un.len() - 1);
-                let t_orig = un.timestamps[centre];
-                aligner.warped_frequency(other, target_track, t_orig)
-            })
-            .collect();
-        ratios.push(per_frame);
     }
 
-    // Interferer ridges wander further (in unwarped Hz) within the longer
-    // original-time windows of shrunk rounds, so the concealed band
-    // widens proportionally. Only *significant* interferer harmonics are
-    // concealed (paper §3.3), judged against the spectrogram median.
-    let mask_bw = cfg.mask_bandwidth_hz * (cfg.window as f64 / window as f64);
-    let magnitude = spec.magnitude();
-    let mask = HarmonicMask::build_significant(
-        &stft_cfg,
-        frames,
-        &ratios,
-        cfg.mask_harmonics,
-        mask_bw,
-        Some(&magnitude),
-        cfg.mask_significance,
-    );
-    let hidden_fraction = mask.hidden_fraction();
-
-    // Dilation by masking situation (§4.2), capped so the receptive field
-    // stays inside the spectrogram.
-    let wanted =
-        if hidden_fraction > cfg.dilation_switch { cfg.dilation_high } else { cfg.dilation_low };
-    let dilation = wanted.min((frames / 4).max(1));
-
-    // Per-round in-painting config: inject dilation and decorrelate seeds
-    // across rounds.
-    let mut icfg = cfg.inpaint.clone();
-    icfg.seed = icfg.seed.wrapping_add(round_salt.wrapping_mul(0x9E37_79B9));
-    if let ConvKind::Harmonic { harmonics, kt, anchor, .. } = icfg.net.conv {
-        icfg.net.conv = ConvKind::Harmonic { harmonics, kt, anchor, dil_t: dilation };
+    /// The pipeline configuration this context was built for.
+    pub fn config(&self) -> &DhfConfig {
+        &self.cfg
     }
 
-    let mask_f32 = mask.as_f32();
-    let outcome = inpaint_magnitude(&magnitude, bins, frames, &mask_f32, &icfg)?;
+    /// Enables or disables the heavy [`RoundReport`] payloads
+    /// (`hidden`, `residual_magnitude`). Scalar diagnostics (hidden
+    /// fraction, dilation, training summary) are always filled. Callers
+    /// on a throughput-critical path — one separation per streaming
+    /// chunk — turn this off to keep the hot loop free of
+    /// spectrogram-sized clones; offline analysis keeps the default
+    /// (`true`).
+    pub fn set_collect_reports(&mut self, enabled: bool) {
+        self.collect_reports = enabled;
+    }
 
-    // Cyclic phase interpolation across the concealed cells (§3.4).
-    let phase = interpolate_masked_phase(&spec, &mask);
-    let mut rebuilt = spec.with_magnitude_phase(&outcome.magnitude, &phase);
+    /// Number of FFT plans built so far by the context's engine; stays
+    /// constant once every transform size in play has been seen (the
+    /// plan-cache reuse invariant the throughput bench checks).
+    pub fn fft_plans_built(&self) -> usize {
+        self.engine.planner().plans_built()
+    }
 
-    // Optional comb restriction: keep only the target's harmonic rows.
-    // Rounds that shrank the window target a slow dominant source whose
-    // per-period amplitude variation spreads energy *between* harmonic
-    // rows; a comb would discard those sidebands, so it only applies to
-    // full-window rounds.
-    if cfg.comb_output && window == cfg.window {
-        // Tooth count stops at the band limit so pure-noise rows are not
-        // resynthesized.
-        let comb_bw = cfg.comb_bandwidth_hz;
-        let mean_f0 = target_track.iter().sum::<f64>() / target_track.len() as f64;
-        let comb_harmonics = if mean_f0 > 0.0 {
-            cfg.comb_harmonics.min(((cfg.max_source_hz / mean_f0).floor() as usize).max(1))
+    /// Full multi-round separation, reusing this context's buffers.
+    ///
+    /// `salt_base` offsets the per-round seed decorrelation; callers
+    /// running many separations that must not share deep-prior noise
+    /// (e.g. successive streaming chunks) pass distinct bases.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`separate`].
+    pub fn separate(
+        &mut self,
+        mixed: &[f64],
+        fs: f64,
+        f0_tracks: &[Vec<f64>],
+        salt_base: u64,
+    ) -> Result<SeparationResult, DhfError> {
+        validate_tracks(mixed.len(), f0_tracks)?;
+
+        let order = peel_order(mixed, fs, f0_tracks, self.cfg.order);
+        let mut residual = std::mem::take(&mut self.residual);
+        residual.clear();
+        residual.extend_from_slice(mixed);
+        let mut sources = vec![Vec::new(); f0_tracks.len()];
+        let mut rounds = Vec::with_capacity(order.len());
+
+        for (round_idx, &si) in order.iter().enumerate() {
+            let round = self.run_round(&residual, fs, f0_tracks, si, salt_base + round_idx as u64);
+            let (estimate, report) = match round {
+                Ok(r) => r,
+                Err(e) => {
+                    self.residual = residual;
+                    return Err(e);
+                }
+            };
+            for (r, &e) in residual.iter_mut().zip(&estimate) {
+                *r -= e;
+            }
+            sources[si] = estimate;
+            rounds.push(report);
+        }
+        self.residual = residual;
+        Ok(SeparationResult { sources, rounds })
+    }
+
+    /// One DHF round targeting source `si` of the given residual
+    /// (unwarp → mask → in-paint → phase → resynthesize → restore).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DhfError::InputTooShort`] when the unwarped residual does
+    /// not cover one analysis window, plus any alignment or network error.
+    pub fn run_round(
+        &mut self,
+        residual: &[f64],
+        fs: f64,
+        f0_tracks: &[Vec<f64>],
+        si: usize,
+        round_salt: u64,
+    ) -> Result<(Vec<f64>, RoundReport), DhfError> {
+        let cfg = &self.cfg;
+        let target_track = &f0_tracks[si];
+        let aligner = PatternAligner::new(target_track, fs, cfg.fs_prime)?;
+        let un = aligner.unwarp(residual)?;
+
+        // Low-fundamental targets (e.g. respiration) cover few cycles, so
+        // the configured window would leave only a handful of frames;
+        // shrink it until the spectrogram has a usable time axis
+        // (≥ 4 windows).
+        let mut window = cfg.window;
+        let mut hop = cfg.hop;
+        while window > 32 && un.len() < 8 * window {
+            window /= 2;
+            hop = (window / 4).max(1);
+        }
+        if un.len() < window + hop {
+            return Err(DhfError::InputTooShort { needed: window + hop, got: un.len() });
+        }
+
+        let stft_cfg = StftConfig::new(window, hop, cfg.fs_prime)?;
+        self.engine.stft_into(&un.samples, &stft_cfg, &mut self.spec)?;
+        let bins = self.spec.bins();
+        let frames = self.spec.frames();
+
+        // Interferer ridges: frequency ratios at each frame centre.
+        self.ratios.clear();
+        for (j, other) in f0_tracks.iter().enumerate() {
+            if j == si {
+                continue;
+            }
+            let per_frame: Vec<f64> = (0..frames)
+                .map(|m| {
+                    let centre = (m * hop + window / 2).min(un.len() - 1);
+                    let t_orig = un.timestamps[centre];
+                    aligner.warped_frequency(other, target_track, t_orig)
+                })
+                .collect();
+            self.ratios.push(per_frame);
+        }
+
+        // Interferer ridges wander further (in unwarped Hz) within the
+        // longer original-time windows of shrunk rounds, so the concealed
+        // band widens proportionally. Only *significant* interferer
+        // harmonics are concealed (paper §3.3), judged against the
+        // spectrogram median.
+        let mask_bw = cfg.mask_bandwidth_hz * (cfg.window as f64 / window as f64);
+        self.magnitude.clear();
+        self.magnitude.extend(self.spec.data().iter().map(|c| c.abs()));
+        let mask = HarmonicMask::build_significant(
+            &stft_cfg,
+            frames,
+            &self.ratios,
+            cfg.mask_harmonics,
+            mask_bw,
+            Some(&self.magnitude),
+            cfg.mask_significance,
+        );
+        let hidden_fraction = mask.hidden_fraction();
+
+        // Dilation by masking situation (§4.2), capped so the receptive
+        // field stays inside the spectrogram.
+        let wanted = if hidden_fraction > cfg.dilation_switch {
+            cfg.dilation_high
         } else {
-            cfg.comb_harmonics
+            cfg.dilation_low
         };
-        let gain = target_comb_gain(&stft_cfg, comb_harmonics, comb_bw);
-        let mut full = vec![0.0f64; bins * frames];
-        for b in 0..bins {
-            for m in 0..frames {
-                full[b * frames + m] = gain[b];
+        let dilation = wanted.min((frames / 4).max(1));
+
+        // Per-round in-painting config: inject dilation and decorrelate
+        // seeds across rounds.
+        let mut icfg = cfg.inpaint.clone();
+        icfg.seed = icfg.seed.wrapping_add(round_salt.wrapping_mul(0x9E37_79B9));
+        if let ConvKind::Harmonic { harmonics, kt, anchor, .. } = icfg.net.conv {
+            icfg.net.conv = ConvKind::Harmonic { harmonics, kt, anchor, dil_t: dilation };
+        }
+
+        let mask_f32 = mask.as_f32();
+        let outcome = inpaint_magnitude(&self.magnitude, bins, frames, &mask_f32, &icfg)?;
+
+        // Cyclic phase interpolation across the concealed cells (§3.4),
+        // then rebuild the spectrogram in place.
+        let phase = interpolate_masked_phase(&self.spec, &mask);
+        self.spec.set_magnitude_phase(&outcome.magnitude, &phase);
+
+        // Optional comb restriction: keep only the target's harmonic rows.
+        // Rounds that shrank the window target a slow dominant source
+        // whose per-period amplitude variation spreads energy *between*
+        // harmonic rows; a comb would discard those sidebands, so it only
+        // applies to full-window rounds.
+        if cfg.comb_output && window == cfg.window {
+            // Tooth count stops at the band limit so pure-noise rows are
+            // not resynthesized.
+            let comb_bw = cfg.comb_bandwidth_hz;
+            let mean_f0 = target_track.iter().sum::<f64>() / target_track.len() as f64;
+            let comb_harmonics = if mean_f0 > 0.0 {
+                cfg.comb_harmonics.min(((cfg.max_source_hz / mean_f0).floor() as usize).max(1))
+            } else {
+                cfg.comb_harmonics
+            };
+            let gain = target_comb_gain(&stft_cfg, comb_harmonics, comb_bw);
+            for (b, &g) in gain.iter().enumerate() {
+                self.spec.scale_bin(b, g);
             }
         }
-        rebuilt = rebuilt.apply_mask(&full);
+
+        self.engine.istft_into(&self.spec, &mut self.y_un);
+        let resynth =
+            UnwarpedSignal { samples: std::mem::take(&mut self.y_un), timestamps: un.timestamps };
+        let estimate = aligner.restore(&resynth)?;
+        self.y_un = resynth.samples;
+
+        let report = RoundReport {
+            source_index: si,
+            hidden_fraction,
+            dilation,
+            train: outcome.report,
+            bins,
+            frames,
+            hidden: if self.collect_reports { mask.hidden_flags() } else { Vec::new() },
+            residual_magnitude: if self.collect_reports {
+                self.magnitude.clone()
+            } else {
+                Vec::new()
+            },
+        };
+        Ok((estimate, report))
     }
-
-    let y_un = istft(&rebuilt);
-    let estimate =
-        aligner.restore(&UnwarpedSignal { samples: y_un, timestamps: un.timestamps.clone() })?;
-
-    let report = RoundReport {
-        source_index: si,
-        hidden_fraction,
-        dilation,
-        train: outcome.report,
-        bins,
-        frames,
-        hidden: mask.hidden_flags(),
-        residual_magnitude: magnitude,
-    };
-    Ok((estimate, report))
 }
 
 /// Spectral energy of `signal` inside `[lo, hi]` Hz.
@@ -474,6 +607,80 @@ mod tests {
             separate(&[0.0; 100], 100.0, &short_tracks, &cfg),
             Err(DhfError::InputTooShort { .. })
         ));
+    }
+
+    #[test]
+    fn validates_tracks_up_front_with_location() {
+        let fs = 100.0;
+        let n = 6000;
+        let (mix, _, _, tracks) = make_mix(fs, n);
+
+        // A non-positive value deep inside the *second* track fails
+        // immediately with its exact location — before round 1 spends its
+        // deep-prior budget on the strong source.
+        let mut bad = tracks.clone();
+        bad[1][1234] = 0.0;
+        assert!(matches!(
+            separate(&mix, fs, &bad, &DhfConfig::fast()),
+            Err(DhfError::NonPositiveTrackValue { track: 1, sample: 1234 })
+        ));
+
+        // Non-finite values are rejected by the same gate.
+        let mut nan = tracks.clone();
+        nan[0][7] = f64::NAN;
+        assert!(matches!(
+            separate(&mix, fs, &nan, &DhfConfig::fast()),
+            Err(DhfError::NonPositiveTrackValue { track: 0, sample: 7 })
+        ));
+        let mut neg = tracks;
+        neg[0][0] = -1.3;
+        assert!(matches!(
+            validate_tracks(n, &neg),
+            Err(DhfError::NonPositiveTrackValue { track: 0, sample: 0 })
+        ));
+
+        // The validator itself accepts healthy input.
+        assert!(validate_tracks(3, &[vec![1.0, 2.0, 3.0]]).is_ok());
+    }
+
+    /// Locks the two-source `fast()` separation quality to seeded floors
+    /// so pipeline refactors cannot silently degrade it. The run is fully
+    /// deterministic (fixed dataset, fixed deep-prior seeds), so the
+    /// floors sit ~1.5 dB under the measured values only to absorb
+    /// cross-platform floating-point drift.
+    #[test]
+    fn fast_config_si_sdr_regression_floors() {
+        // Measured on the seed implementation: strong 19.5 dB, weak 5.7 dB.
+        const STRONG_FLOOR_DB: f64 = 17.5;
+        const WEAK_FLOOR_DB: f64 = 4.0;
+        let fs = 100.0;
+        let n = 6000;
+        let (mix, s1, s2, tracks) = make_mix(fs, n);
+        let res = separate(&mix, fs, &tracks, &DhfConfig::fast()).unwrap();
+        let lo = 500;
+        let hi = n - 500;
+        let sdr1 = si_sdr_db(&s1[lo..hi], &res.sources[0][lo..hi]);
+        let sdr2 = si_sdr_db(&s2[lo..hi], &res.sources[1][lo..hi]);
+        eprintln!("fast() regression: strong {sdr1:.2} dB, weak {sdr2:.2} dB");
+        assert!(sdr1 >= STRONG_FLOOR_DB, "strong source regressed: {sdr1:.2} dB");
+        assert!(sdr2 >= WEAK_FLOOR_DB, "weak source regressed: {sdr2:.2} dB");
+    }
+
+    #[test]
+    fn round_context_is_reusable_across_separations() {
+        let fs = 100.0;
+        let n = 6000;
+        let (mix, _, _, tracks) = make_mix(fs, n);
+        let cfg = DhfConfig::fast().with_harmonic_interp();
+        let mut ctx = RoundContext::new(&cfg);
+        let first = ctx.separate(&mix, fs, &tracks, 0).unwrap();
+        let plans_after_first = ctx.fft_plans_built();
+        let second = ctx.separate(&mix, fs, &tracks, 0).unwrap();
+        // Same input + same salt → identical output through reused buffers.
+        assert_eq!(first.sources, second.sources);
+        // And the second pass built no new FFT plans: every transform size
+        // was already cached.
+        assert_eq!(ctx.fft_plans_built(), plans_after_first);
     }
 
     #[test]

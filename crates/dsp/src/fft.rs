@@ -8,11 +8,23 @@
 //!   N-point DFT to a circular convolution carried out with the radix-2
 //!   engine.
 //!
+//! All per-size state (bit-reversal permutations, stage twiddle tables,
+//! Bluestein chirps and pre-transformed convolution kernels) lives in an
+//! [`FftPlanner`]: the first transform of a given size builds a plan, every
+//! later transform of that size reuses it, so repeated same-size transforms
+//! — the STFT hot path — do no twiddle recomputation. The free functions
+//! ([`fft`], [`ifft`], [`fft_real`], …) delegate to a thread-local planner
+//! and therefore share plans within a thread; performance-critical callers
+//! running many frames (streaming separation, benches) should hold their
+//! own [`FftPlanner`] and use the `*_into` scratch-buffer entry points.
+//!
 //! The convention is the unnormalized forward DFT
 //! `X[k] = Σ_n x[n]·e^{-2πi·kn/N}`; [`ifft`] divides by `N`, so
 //! `ifft(fft(x)) == x`.
 
 use crate::complex::Complex;
+use std::cell::RefCell;
+use std::collections::HashMap;
 
 /// Returns `true` if `n` is a power of two (and non-zero).
 #[inline]
@@ -33,62 +45,318 @@ pub fn next_power_of_two(n: usize) -> usize {
     n.next_power_of_two()
 }
 
-/// In-place radix-2 FFT.
-///
-/// `sign` is -1.0 for the forward transform, +1.0 for the inverse kernel
-/// (without the 1/N normalization).
-///
-/// # Panics
-///
-/// Panics if `buf.len()` is not a power of two.
-fn fft_radix2_inplace(buf: &mut [Complex], sign: f64) {
-    let n = buf.len();
-    assert!(is_power_of_two(n), "radix-2 FFT requires power-of-two length");
-    if n <= 1 {
-        return;
-    }
+/// Cached state for one power-of-two transform size.
+#[derive(Debug, Clone)]
+struct Radix2Plan {
+    n: usize,
+    /// Bit-reversal permutation: `bitrev[i]` is the source index of `i`.
+    bitrev: Vec<u32>,
+    /// Forward stage twiddles, concatenated by stage: the stage with
+    /// butterfly span `len` stores `cis(-2π·k/len)` for `k < len/2` at
+    /// offset `len/2 - 1` (total `n - 1` entries). The inverse kernel
+    /// conjugates on the fly.
+    twiddles: Vec<Complex>,
+}
 
-    // Bit-reversal permutation.
-    let mut j = 0usize;
-    for i in 1..n {
-        let mut bit = n >> 1;
-        while j & bit != 0 {
-            j ^= bit;
-            bit >>= 1;
-        }
-        j |= bit;
-        if i < j {
-            buf.swap(i, j);
-        }
-    }
-
-    // Butterfly passes.
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
-        let wlen = Complex::cis(ang);
-        let half = len / 2;
-        let mut i = 0;
-        while i < n {
-            let mut w = Complex::ONE;
-            for k in 0..half {
-                let u = buf[i + k];
-                let v = buf[i + k + half] * w;
-                buf[i + k] = u + v;
-                buf[i + k + half] = u - v;
-                w *= wlen;
+impl Radix2Plan {
+    fn new(n: usize) -> Self {
+        debug_assert!(is_power_of_two(n));
+        let mut bitrev = vec![0u32; n];
+        let mut j = 0usize;
+        for slot in bitrev.iter_mut().skip(1) {
+            let mut bit = n >> 1;
+            while j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
             }
-            i += len;
+            j |= bit;
+            *slot = j as u32;
         }
-        len <<= 1;
+        let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            for k in 0..half {
+                let ang = -2.0 * std::f64::consts::PI * k as f64 / len as f64;
+                twiddles.push(Complex::cis(ang));
+            }
+            len <<= 1;
+        }
+        Radix2Plan { n, bitrev, twiddles }
     }
+
+    /// In-place radix-2 transform using the cached tables. `inverse`
+    /// selects the conjugate (un-normalized) kernel.
+    fn execute(&self, buf: &mut [Complex], inverse: bool) {
+        let n = self.n;
+        debug_assert_eq!(buf.len(), n);
+        if n <= 1 {
+            return;
+        }
+        for i in 1..n {
+            let j = self.bitrev[i] as usize;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let tw = &self.twiddles[half - 1..half - 1 + half];
+            let mut i = 0;
+            while i < n {
+                for k in 0..half {
+                    let w = if inverse { tw[k].conj() } else { tw[k] };
+                    let u = buf[i + k];
+                    let v = buf[i + k + half] * w;
+                    buf[i + k] = u + v;
+                    buf[i + k + half] = u - v;
+                }
+                i += len;
+            }
+            len <<= 1;
+        }
+    }
+}
+
+/// Cached state for one non-power-of-two (Bluestein) transform size.
+#[derive(Debug, Clone)]
+struct BluesteinPlan {
+    /// Convolution length: next power of two ≥ `2n - 1`.
+    m: usize,
+    /// Forward chirp `e^{-iπ k²/N}` (k² reduced mod 2N for stability).
+    /// The inverse transform conjugates on the fly.
+    chirp: Vec<Complex>,
+    /// Radix-2 spectrum of the forward convolution kernel `b[k] = conj(chirp[k])`.
+    kernel_fwd: Vec<Complex>,
+    /// Radix-2 spectrum of the inverse convolution kernel `b[k] = chirp[k]`.
+    kernel_inv: Vec<Complex>,
+}
+
+impl BluesteinPlan {
+    fn new(n: usize, radix2_m: &Radix2Plan) -> Self {
+        let m = radix2_m.n;
+        debug_assert!(m >= 2 * n - 1);
+        let pi = std::f64::consts::PI;
+        let mut chirp = Vec::with_capacity(n);
+        for k in 0..n {
+            let kk = (k as u128 * k as u128) % (2 * n as u128);
+            chirp.push(Complex::cis(-pi * kk as f64 / n as f64));
+        }
+        let mut kernel_fwd = vec![Complex::ZERO; m];
+        let mut kernel_inv = vec![Complex::ZERO; m];
+        kernel_fwd[0] = chirp[0].conj();
+        kernel_inv[0] = chirp[0];
+        for k in 1..n {
+            let c = chirp[k].conj();
+            kernel_fwd[k] = c;
+            kernel_fwd[m - k] = c;
+            kernel_inv[k] = chirp[k];
+            kernel_inv[m - k] = chirp[k];
+        }
+        radix2_m.execute(&mut kernel_fwd, false);
+        radix2_m.execute(&mut kernel_inv, false);
+        BluesteinPlan { m, chirp, kernel_fwd, kernel_inv }
+    }
+
+    /// `chirp[k]` with the transform direction applied.
+    #[inline]
+    fn chirp_at(&self, k: usize, inverse: bool) -> Complex {
+        if inverse {
+            self.chirp[k].conj()
+        } else {
+            self.chirp[k]
+        }
+    }
+}
+
+/// A reusable FFT planner: computes and caches per-size plan state
+/// (twiddle tables, bit-reversal permutations, Bluestein chirps and
+/// kernel spectra) so that repeated transforms of the same size pay the
+/// table-construction cost exactly once.
+///
+/// # Example
+///
+/// ```
+/// use dhf_dsp::fft::FftPlanner;
+/// use dhf_dsp::Complex;
+///
+/// let mut planner = FftPlanner::new();
+/// let mut half = Vec::new();
+/// for _ in 0..100 {
+///     let frame = vec![1.0f64; 512];
+///     planner.fft_real_into(&frame, &mut half);
+/// }
+/// // 100 same-size transforms built exactly one plan.
+/// assert_eq!(planner.plans_built(), 1);
+/// assert!((half[0].re - 512.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Default)]
+pub struct FftPlanner {
+    radix2: HashMap<usize, Radix2Plan>,
+    bluestein: HashMap<usize, BluesteinPlan>,
+    /// Number of plans constructed over the planner's lifetime (cache
+    /// misses); cache hits leave it unchanged.
+    plans_built: usize,
+    /// Scratch for the Bluestein convolution (length `m`).
+    conv_scratch: Vec<Complex>,
+    /// Scratch for real-transform promotion to complex.
+    real_scratch: Vec<Complex>,
+}
+
+impl FftPlanner {
+    /// Creates an empty planner; plans are built lazily per size.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of plans constructed so far (one per distinct size and
+    /// engine). Repeated same-size transforms do not increase this.
+    pub fn plans_built(&self) -> usize {
+        self.plans_built
+    }
+
+    /// Number of distinct transform sizes currently cached.
+    pub fn cached_sizes(&self) -> usize {
+        self.radix2.len() + self.bluestein.len()
+    }
+
+    fn ensure_radix2(&mut self, n: usize) {
+        let plans_built = &mut self.plans_built;
+        self.radix2.entry(n).or_insert_with(|| {
+            *plans_built += 1;
+            Radix2Plan::new(n)
+        });
+    }
+
+    fn ensure_bluestein(&mut self, n: usize) {
+        let m = next_power_of_two(2 * n - 1);
+        self.ensure_radix2(m);
+        let plans_built = &mut self.plans_built;
+        let radix2 = &self.radix2;
+        self.bluestein.entry(n).or_insert_with(|| {
+            *plans_built += 1;
+            BluesteinPlan::new(n, &radix2[&m])
+        });
+    }
+
+    /// Un-normalized transform of arbitrary length, in place.
+    fn transform(&mut self, buf: &mut [Complex], inverse: bool) {
+        let n = buf.len();
+        if n <= 1 {
+            return;
+        }
+        if is_power_of_two(n) {
+            self.ensure_radix2(n);
+            self.radix2[&n].execute(buf, inverse);
+            return;
+        }
+        self.ensure_bluestein(n);
+        // Take the scratch out so the plan borrows stay immutable.
+        let mut a = std::mem::take(&mut self.conv_scratch);
+        let plan = &self.bluestein[&n];
+        let m = plan.m;
+        let radix2_m = &self.radix2[&m];
+        a.clear();
+        a.resize(m, Complex::ZERO);
+        for k in 0..n {
+            a[k] = buf[k] * plan.chirp_at(k, inverse);
+        }
+        radix2_m.execute(&mut a, false);
+        let kernel = if inverse { &plan.kernel_inv } else { &plan.kernel_fwd };
+        for (ai, &ki) in a.iter_mut().zip(kernel) {
+            *ai *= ki;
+        }
+        radix2_m.execute(&mut a, true);
+        let scale = 1.0 / m as f64;
+        for k in 0..n {
+            buf[k] = a[k].scale(scale) * plan.chirp_at(k, inverse);
+        }
+        self.conv_scratch = a;
+    }
+
+    /// Forward DFT in place (arbitrary length).
+    pub fn fft_inplace(&mut self, buf: &mut [Complex]) {
+        self.transform(buf, false);
+    }
+
+    /// Inverse DFT in place, with the 1/N normalization.
+    pub fn ifft_inplace(&mut self, buf: &mut [Complex]) {
+        let n = buf.len();
+        if n == 0 {
+            return;
+        }
+        self.transform(buf, true);
+        let scale = 1.0 / n as f64;
+        for v in buf.iter_mut() {
+            *v = v.scale(scale);
+        }
+    }
+
+    /// Forward DFT of a real signal into `out` (cleared and refilled with
+    /// the non-redundant half spectrum: `n/2 + 1` bins for even `n`,
+    /// `(n+1)/2` for odd `n`). Reuses internal scratch, so repeated calls
+    /// of one size allocate nothing after the first.
+    pub fn fft_real_into(&mut self, input: &[f64], out: &mut Vec<Complex>) {
+        let n = input.len();
+        let mut buf = std::mem::take(&mut self.real_scratch);
+        buf.clear();
+        buf.extend(input.iter().map(|&x| Complex::from_real(x)));
+        self.transform(&mut buf, false);
+        let half = (n / 2 + 1).max(1).min(n.max(1));
+        out.clear();
+        out.extend_from_slice(&buf[..half.min(buf.len())]);
+        self.real_scratch = buf;
+    }
+
+    /// Inverse of [`FftPlanner::fft_real_into`]: reconstructs a length-`n`
+    /// real signal from its half spectrum into `out` (cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half.len()` is inconsistent with `n` (must equal
+    /// `n/2 + 1` for even `n` or `(n+1)/2` for odd `n`).
+    pub fn ifft_real_into(&mut self, half: &[Complex], n: usize, out: &mut Vec<f64>) {
+        out.clear();
+        if n == 0 {
+            return;
+        }
+        let expected = n / 2 + 1;
+        assert_eq!(
+            half.len(),
+            expected.min(n),
+            "half spectrum length inconsistent with signal length"
+        );
+        let mut buf = std::mem::take(&mut self.real_scratch);
+        buf.clear();
+        buf.resize(n, Complex::ZERO);
+        buf[..half.len()].copy_from_slice(half);
+        for k in half.len()..n {
+            buf[k] = buf[n - k].conj();
+        }
+        self.transform(&mut buf, true);
+        let scale = 1.0 / n as f64;
+        out.extend(buf.iter().map(|c| c.re * scale));
+        self.real_scratch = buf;
+    }
+}
+
+thread_local! {
+    /// Shared planner behind the free-function API: all `fft`/`ifft`/
+    /// `fft_real`/`ifft_real` calls on one thread reuse its plan cache.
+    static THREAD_PLANNER: RefCell<FftPlanner> = RefCell::new(FftPlanner::new());
+}
+
+/// Runs `f` with the calling thread's shared [`FftPlanner`].
+pub fn with_thread_planner<T>(f: impl FnOnce(&mut FftPlanner) -> T) -> T {
+    THREAD_PLANNER.with(|p| f(&mut p.borrow_mut()))
 }
 
 /// Forward DFT of arbitrary length.
 ///
 /// Power-of-two lengths use radix-2 directly; other lengths fall back to
 /// Bluestein's algorithm. The input is borrowed and an owned spectrum is
-/// returned.
+/// returned. Plans are cached in a thread-local [`FftPlanner`].
 ///
 /// # Example
 ///
@@ -103,22 +371,13 @@ fn fft_radix2_inplace(buf: &mut [Complex], sign: f64) {
 /// ```
 pub fn fft(input: &[Complex]) -> Vec<Complex> {
     let mut buf = input.to_vec();
-    fft_inplace(&mut buf);
+    with_thread_planner(|p| p.fft_inplace(&mut buf));
     buf
 }
 
 /// Forward DFT, transforming the buffer in place (arbitrary length).
-pub fn fft_inplace(buf: &mut Vec<Complex>) {
-    let n = buf.len();
-    if n <= 1 {
-        return;
-    }
-    if is_power_of_two(n) {
-        fft_radix2_inplace(buf, -1.0);
-    } else {
-        let out = bluestein(buf, -1.0);
-        *buf = out;
-    }
+pub fn fft_inplace(buf: &mut [Complex]) {
+    with_thread_planner(|p| p.fft_inplace(buf));
 }
 
 /// Inverse DFT with 1/N normalization so that `ifft(fft(x)) == x`.
@@ -134,63 +393,9 @@ pub fn fft_inplace(buf: &mut Vec<Complex>) {
 /// }
 /// ```
 pub fn ifft(input: &[Complex]) -> Vec<Complex> {
-    let n = input.len();
-    if n == 0 {
-        return Vec::new();
-    }
     let mut buf = input.to_vec();
-    if is_power_of_two(n) {
-        fft_radix2_inplace(&mut buf, 1.0);
-    } else {
-        buf = bluestein(&buf, 1.0);
-    }
-    let scale = 1.0 / n as f64;
-    for v in &mut buf {
-        *v = v.scale(scale);
-    }
+    with_thread_planner(|p| p.ifft_inplace(&mut buf));
     buf
-}
-
-/// Bluestein chirp-z transform: N-point DFT via a (2N-1)-padded circular
-/// convolution evaluated with the radix-2 engine.
-fn bluestein(input: &[Complex], sign: f64) -> Vec<Complex> {
-    let n = input.len();
-    let m = next_power_of_two(2 * n - 1);
-    let pi = std::f64::consts::PI;
-
-    // Chirp w[k] = e^{sign·iπ k²/N}. Use k² mod 2N to keep the angle small
-    // and numerically stable for long signals.
-    let mut chirp = Vec::with_capacity(n);
-    for k in 0..n {
-        let kk = (k as u128 * k as u128) % (2 * n as u128);
-        chirp.push(Complex::cis(sign * pi * kk as f64 / n as f64));
-    }
-
-    let mut a = vec![Complex::ZERO; m];
-    for k in 0..n {
-        a[k] = input[k] * chirp[k];
-    }
-    let mut b = vec![Complex::ZERO; m];
-    b[0] = chirp[0].conj();
-    for k in 1..n {
-        let c = chirp[k].conj();
-        b[k] = c;
-        b[m - k] = c;
-    }
-
-    fft_radix2_inplace(&mut a, -1.0);
-    fft_radix2_inplace(&mut b, -1.0);
-    for i in 0..m {
-        a[i] *= b[i];
-    }
-    fft_radix2_inplace(&mut a, 1.0);
-    let scale = 1.0 / m as f64;
-
-    let mut out = Vec::with_capacity(n);
-    for k in 0..n {
-        out.push(a[k].scale(scale) * chirp[k]);
-    }
-    out
 }
 
 /// Forward DFT of a real signal, returning only the non-redundant half
@@ -206,10 +411,9 @@ fn bluestein(input: &[Complex], sign: f64) -> Vec<Complex> {
 /// assert!((spec[1].re - 2.0).abs() < 1e-12);
 /// ```
 pub fn fft_real(input: &[f64]) -> Vec<Complex> {
-    let buf: Vec<Complex> = input.iter().map(|&x| Complex::from_real(x)).collect();
-    let full = fft(&buf);
-    let half = input.len() / 2 + 1;
-    full.into_iter().take(half.max(1).min(input.len().max(1))).collect()
+    let mut out = Vec::new();
+    with_thread_planner(|p| p.fft_real_into(input, &mut out));
+    out
 }
 
 /// Inverse of [`fft_real`]: reconstructs a length-`n` real signal from its
@@ -220,19 +424,9 @@ pub fn fft_real(input: &[f64]) -> Vec<Complex> {
 /// Panics if `half.len()` is inconsistent with `n` (must equal `n/2 + 1`
 /// for even `n` or `(n+1)/2` for odd `n`).
 pub fn ifft_real(half: &[Complex], n: usize) -> Vec<f64> {
-    if n == 0 {
-        return Vec::new();
-    }
-    let expected = n / 2 + 1;
-    assert_eq!(half.len(), expected.min(n), "half spectrum length inconsistent with signal length");
-    let mut full = vec![Complex::ZERO; n];
-    for (k, &v) in half.iter().enumerate() {
-        full[k] = v;
-    }
-    for k in half.len()..n {
-        full[k] = full[n - k].conj();
-    }
-    ifft(&full).into_iter().map(|c| c.re).collect()
+    let mut out = Vec::new();
+    with_thread_planner(|p| p.ifft_real_into(half, n, &mut out));
+    out
 }
 
 /// Frequency (Hz) of each bin of an `n`-point DFT at sample rate `fs`,
@@ -248,10 +442,17 @@ pub fn circular_convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
     if n == 0 {
         return Vec::new();
     }
-    let fa = fft(&a.iter().map(|&x| Complex::from_real(x)).collect::<Vec<_>>());
-    let fb = fft(&b.iter().map(|&x| Complex::from_real(x)).collect::<Vec<_>>());
-    let prod: Vec<Complex> = fa.iter().zip(&fb).map(|(&x, &y)| x * y).collect();
-    ifft(&prod).into_iter().map(|c| c.re).collect()
+    with_thread_planner(|p| {
+        let mut fa: Vec<Complex> = a.iter().map(|&x| Complex::from_real(x)).collect();
+        let mut fb: Vec<Complex> = b.iter().map(|&x| Complex::from_real(x)).collect();
+        p.fft_inplace(&mut fa);
+        p.fft_inplace(&mut fb);
+        for (x, &y) in fa.iter_mut().zip(&fb) {
+            *x *= y;
+        }
+        p.ifft_inplace(&mut fa);
+        fa.into_iter().map(|c| c.re).collect()
+    })
 }
 
 /// Linear (acyclic) autocorrelation of `x` for non-negative lags,
@@ -268,11 +469,13 @@ pub fn autocorrelation(x: &[f64]) -> Vec<f64> {
     for (i, &v) in x.iter().enumerate() {
         buf[i] = Complex::from_real(v);
     }
-    fft_radix2_inplace(&mut buf, -1.0);
-    for v in buf.iter_mut() {
-        *v = Complex::from_real(v.norm_sqr());
-    }
-    fft_radix2_inplace(&mut buf, 1.0);
+    with_thread_planner(|p| {
+        p.fft_inplace(&mut buf);
+        for v in buf.iter_mut() {
+            *v = Complex::from_real(v.norm_sqr());
+        }
+        p.ifft_inplace(&mut buf);
+    });
     let r0 = buf[0].re;
     let norm = if r0.abs() < f64::EPSILON { 1.0 } else { r0 };
     (0..n).map(|k| buf[k].re / norm).collect()
@@ -417,5 +620,65 @@ mod tests {
         assert!(fft(&[]).is_empty());
         assert!(ifft(&[]).is_empty());
         assert!(autocorrelation(&[]).is_empty());
+    }
+
+    #[test]
+    fn planner_reuses_one_plan_for_repeated_size() {
+        let mut planner = FftPlanner::new();
+        let x: Vec<f64> = (0..512).map(|i| (i as f64 * 0.17).sin()).collect();
+        let mut half = Vec::new();
+        for _ in 0..64 {
+            planner.fft_real_into(&x, &mut half);
+        }
+        assert_eq!(planner.plans_built(), 1, "same-size transforms must share one plan");
+        assert_eq!(planner.cached_sizes(), 1);
+        // A second size adds exactly one more radix-2 plan.
+        let y = vec![0.5f64; 1024];
+        planner.fft_real_into(&y, &mut half);
+        assert_eq!(planner.plans_built(), 2);
+    }
+
+    #[test]
+    fn planner_bluestein_caches_kernel_and_radix2() {
+        let mut planner = FftPlanner::new();
+        let x = test_signal(60);
+        for _ in 0..16 {
+            let mut buf = x.clone();
+            planner.fft_inplace(&mut buf);
+        }
+        // One Bluestein plan (size 60) + one radix-2 plan (size 128).
+        assert_eq!(planner.plans_built(), 2);
+        // The cached path still matches the naive DFT.
+        let mut buf = x.clone();
+        planner.fft_inplace(&mut buf);
+        assert_spec_close(&buf, &naive_dft(&x), 1e-8 * 60.0);
+    }
+
+    #[test]
+    fn planner_real_round_trip_matches_free_functions() {
+        let mut planner = FftPlanner::new();
+        for &n in &[16usize, 37, 100, 101] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).cos() - 0.2).collect();
+            let mut half = Vec::new();
+            planner.fft_real_into(&x, &mut half);
+            assert_spec_close(&half, &fft_real(&x), 1e-9 * n as f64);
+            let mut back = Vec::new();
+            planner.ifft_real_into(&half, n, &mut back);
+            for (a, b) in x.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn planner_inverse_matches_forward_inverse_pair() {
+        let mut planner = FftPlanner::new();
+        for &n in &[12usize, 64, 90] {
+            let x = test_signal(n);
+            let mut buf = x.clone();
+            planner.fft_inplace(&mut buf);
+            planner.ifft_inplace(&mut buf);
+            assert_spec_close(&x, &buf, 1e-8 * n as f64);
+        }
     }
 }

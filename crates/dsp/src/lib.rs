@@ -48,7 +48,8 @@ pub mod stft;
 pub mod window;
 
 pub use complex::Complex;
-pub use stft::{Spectrogram, StftConfig};
+pub use fft::FftPlanner;
+pub use stft::{Spectrogram, StftConfig, StftEngine};
 
 /// Errors produced by DSP routines.
 #[derive(Debug, Clone, PartialEq)]

@@ -7,9 +7,10 @@
 //! reconstructs COLA-compliant configurations exactly in the interior.
 
 use crate::complex::Complex;
-use crate::fft::{fft_real, ifft_real};
+use crate::fft::FftPlanner;
 use crate::window::{cola_deviation, WindowKind};
 use crate::{DspError, Result};
+use std::cell::RefCell;
 
 /// STFT analysis parameters.
 ///
@@ -263,6 +264,214 @@ impl Spectrogram {
         let data = self.data.iter().zip(mask).map(|(c, &m)| c.scale(m)).collect();
         Spectrogram { data, ..self.clone() }
     }
+
+    /// In-place variant of [`Spectrogram::with_magnitude_phase`]: rebuilds
+    /// every coefficient from the given magnitude and phase images without
+    /// allocating a new spectrogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if image sizes disagree with this spectrogram's shape.
+    pub fn set_magnitude_phase(&mut self, magnitude: &[f64], phase: &[f64]) {
+        assert_eq!(magnitude.len(), self.data.len(), "magnitude size mismatch");
+        assert_eq!(phase.len(), self.data.len(), "phase size mismatch");
+        for ((c, &m), &p) in self.data.iter_mut().zip(magnitude).zip(phase) {
+            *c = Complex::from_polar(m, p);
+        }
+    }
+
+    /// In-place variant of [`Spectrogram::apply_mask`]: scales each
+    /// coefficient by the bin-major gain image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != bins * frames`.
+    pub fn apply_mask_in_place(&mut self, mask: &[f64]) {
+        assert_eq!(mask.len(), self.data.len(), "mask size mismatch");
+        for (c, &m) in self.data.iter_mut().zip(mask) {
+            *c = c.scale(m);
+        }
+    }
+
+    /// Scales every coefficient of a single bin row by `gain` (used by the
+    /// comb restriction, whose gain is constant over time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin >= bins`.
+    pub fn scale_bin(&mut self, bin: usize, gain: f64) {
+        assert!(bin < self.bins, "bin out of range");
+        for c in &mut self.data[bin * self.frames..(bin + 1) * self.frames] {
+            *c = c.scale(gain);
+        }
+    }
+}
+
+/// A reusable STFT engine: owns an [`FftPlanner`] plus window and frame
+/// scratch buffers, so that analyzing/resynthesizing many signals with the
+/// same configuration (the streaming hot path) recomputes no twiddle
+/// tables and performs no per-frame allocation.
+///
+/// The free functions [`stft`] and [`istft`] delegate to a thread-local
+/// engine; code that processes many frames (chunked streaming, benches)
+/// should own one and call [`StftEngine::stft_into`] /
+/// [`StftEngine::istft_into`] to also reuse the output buffers.
+#[derive(Debug, Default)]
+pub struct StftEngine {
+    planner: FftPlanner,
+    window: Vec<f64>,
+    window_key: Option<(WindowKind, usize)>,
+    frame: Vec<f64>,
+    half: Vec<Complex>,
+    norm: Vec<f64>,
+}
+
+impl StftEngine {
+    /// Creates an engine with empty caches; plans and windows are built
+    /// lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The engine's FFT planner (e.g. for cache statistics).
+    pub fn planner(&self) -> &FftPlanner {
+        &self.planner
+    }
+
+    fn ensure_window(&mut self, kind: WindowKind, len: usize) {
+        if self.window_key != Some((kind, len)) {
+            self.window = kind.samples(len);
+            self.window_key = Some((kind, len));
+        }
+    }
+
+    /// Computes the STFT of `signal`, reusing internal scratch buffers.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`stft`].
+    pub fn stft(&mut self, signal: &[f64], config: &StftConfig) -> Result<Spectrogram> {
+        let mut spec = Spectrogram {
+            config: *config,
+            bins: config.bins(),
+            frames: 0,
+            data: Vec::new(),
+            signal_len: 0,
+        };
+        self.stft_into(signal, config, &mut spec)?;
+        Ok(spec)
+    }
+
+    /// Computes the STFT of `signal` into an existing spectrogram, reusing
+    /// its coefficient buffer (resized as needed) as well as the engine's
+    /// scratch. After the call `spec` is fully overwritten: configuration,
+    /// shape and data all describe the new analysis.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`stft`].
+    pub fn stft_into(
+        &mut self,
+        signal: &[f64],
+        config: &StftConfig,
+        spec: &mut Spectrogram,
+    ) -> Result<()> {
+        let w = config.window_len();
+        if signal.len() < w {
+            return Err(DspError::InvalidParameter {
+                name: "signal",
+                message: format!("needs at least {w} samples, got {}", signal.len()),
+            });
+        }
+        let frames = config.frames_for(signal.len());
+        let bins = config.bins();
+        self.ensure_window(config.window_kind(), w);
+        spec.config = *config;
+        spec.bins = bins;
+        spec.frames = frames;
+        spec.signal_len = signal.len();
+        spec.data.clear();
+        spec.data.resize(bins * frames, Complex::ZERO);
+        let mut frame = std::mem::take(&mut self.frame);
+        let mut half = std::mem::take(&mut self.half);
+        frame.clear();
+        frame.resize(w, 0.0);
+        for m in 0..frames {
+            let start = m * config.hop();
+            for (i, f) in frame.iter_mut().enumerate() {
+                *f = signal[start + i] * self.window[i];
+            }
+            self.planner.fft_real_into(&frame, &mut half);
+            for (k, &c) in half.iter().enumerate() {
+                spec.data[k * frames + m] = c;
+            }
+        }
+        self.frame = frame;
+        self.half = half;
+        Ok(())
+    }
+
+    /// Inverse STFT by weighted overlap-add, reusing internal scratch.
+    /// Semantics are identical to [`istft`].
+    pub fn istft(&mut self, spec: &Spectrogram) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.istft_into(spec, &mut out);
+        out
+    }
+
+    /// Inverse STFT into an existing output buffer (cleared and refilled),
+    /// reusing the engine's window/normalization scratch.
+    pub fn istft_into(&mut self, spec: &Spectrogram, out: &mut Vec<f64>) {
+        let config = spec.config();
+        let w = config.window_len();
+        let hop = config.hop();
+        let frames = spec.frames();
+        let n = if frames == 0 { 0 } else { (frames - 1) * hop + w };
+        self.ensure_window(config.window_kind(), w);
+
+        out.clear();
+        out.resize(n, 0.0);
+        let mut norm = std::mem::take(&mut self.norm);
+        let mut half = std::mem::take(&mut self.half);
+        let mut frame = std::mem::take(&mut self.frame);
+        norm.clear();
+        norm.resize(n, 0.0);
+        half.clear();
+        half.resize(spec.bins(), Complex::ZERO);
+        for m in 0..frames {
+            for (k, h) in half.iter_mut().enumerate() {
+                *h = spec.at(k, m);
+            }
+            self.planner.ifft_real_into(&half, w, &mut frame);
+            let start = m * hop;
+            for i in 0..w {
+                out[start + i] += frame[i] * self.window[i];
+                norm[start + i] += self.window[i] * self.window[i];
+            }
+        }
+        // Normalize by the squared-window overlap. Near the edges the
+        // overlap sum decays to ~0; for *modified* spectrograms the
+        // numerator no longer tapers to match, so an unguarded division
+        // would blow up the boundary samples (and, in iterative pipelines,
+        // cascade). A relative floor keeps the interior exact and merely
+        // tapers the edges.
+        let norm_peak = norm.iter().cloned().fold(0.0f64, f64::max);
+        let floor = 0.25 * norm_peak;
+        for i in 0..n {
+            if norm[i] > 1e-12 {
+                out[i] /= norm[i].max(floor);
+            }
+        }
+        out.resize(spec.signal_len(), 0.0);
+        self.norm = norm;
+        self.half = half;
+        self.frame = frame;
+    }
+}
+
+thread_local! {
+    /// Shared engine behind the free-function API.
+    static THREAD_ENGINE: RefCell<StftEngine> = RefCell::new(StftEngine::new());
 }
 
 /// Computes the STFT of `signal`.
@@ -275,29 +484,7 @@ impl Spectrogram {
 /// Returns [`DspError::InvalidParameter`] if the signal is shorter than one
 /// window.
 pub fn stft(signal: &[f64], config: &StftConfig) -> Result<Spectrogram> {
-    let w = config.window_len();
-    if signal.len() < w {
-        return Err(DspError::InvalidParameter {
-            name: "signal",
-            message: format!("needs at least {w} samples, got {}", signal.len()),
-        });
-    }
-    let frames = config.frames_for(signal.len());
-    let bins = config.bins();
-    let window = config.window_kind().samples(w);
-    let mut data = vec![Complex::ZERO; bins * frames];
-    let mut buf = vec![0.0f64; w];
-    for m in 0..frames {
-        let start = m * config.hop();
-        for i in 0..w {
-            buf[i] = signal[start + i] * window[i];
-        }
-        let spec = fft_real(&buf);
-        for (k, &c) in spec.iter().enumerate() {
-            data[k * frames + m] = c;
-        }
-    }
-    Ok(Spectrogram { config: *config, bins, frames, data, signal_len: signal.len() })
+    THREAD_ENGINE.with(|e| e.borrow_mut().stft(signal, config))
 }
 
 /// Inverse STFT by weighted overlap-add.
@@ -307,41 +494,7 @@ pub fn stft(signal: &[f64], config: &StftConfig) -> Result<Spectrogram> {
 /// window/hop pairs and least-squares optimal after spectrogram
 /// modification. The output is trimmed/padded to `spec.signal_len()`.
 pub fn istft(spec: &Spectrogram) -> Vec<f64> {
-    let config = spec.config();
-    let w = config.window_len();
-    let hop = config.hop();
-    let frames = spec.frames();
-    let n = if frames == 0 { 0 } else { (frames - 1) * hop + w };
-    let window = config.window_kind().samples(w);
-
-    let mut out = vec![0.0f64; n];
-    let mut norm = vec![0.0f64; n];
-    let mut half = vec![Complex::ZERO; spec.bins()];
-    for m in 0..frames {
-        for (k, h) in half.iter_mut().enumerate() {
-            *h = spec.at(k, m);
-        }
-        let frame = ifft_real(&half, w);
-        let start = m * hop;
-        for i in 0..w {
-            out[start + i] += frame[i] * window[i];
-            norm[start + i] += window[i] * window[i];
-        }
-    }
-    // Normalize by the squared-window overlap. Near the edges the overlap
-    // sum decays to ~0; for *modified* spectrograms the numerator no
-    // longer tapers to match, so an unguarded division would blow up the
-    // boundary samples (and, in iterative pipelines, cascade). A relative
-    // floor keeps the interior exact and merely tapers the edges.
-    let norm_peak = norm.iter().cloned().fold(0.0f64, f64::max);
-    let floor = 0.25 * norm_peak;
-    for i in 0..n {
-        if norm[i] > 1e-12 {
-            out[i] /= norm[i].max(floor);
-        }
-    }
-    out.resize(spec.signal_len(), 0.0);
-    out
+    THREAD_ENGINE.with(|e| e.borrow_mut().istft(spec))
 }
 
 #[cfg(test)]
@@ -447,6 +600,53 @@ mod tests {
         let cfg = StftConfig::new(128, 32, 16.0).unwrap();
         for k in 0..cfg.bins() {
             assert_eq!(cfg.frequency_to_bin(cfg.bin_frequency(k)), k);
+        }
+    }
+
+    #[test]
+    fn engine_matches_free_functions_and_caches_one_plan() {
+        let cfg = StftConfig::new(128, 32, 16.0).unwrap();
+        let x = chirp(1024, 16.0);
+        let mut engine = StftEngine::new();
+        let mut spec = engine.stft(&x, &cfg).unwrap();
+        let free = stft(&x, &cfg).unwrap();
+        assert_eq!(spec.data(), free.data());
+        // Re-analyzing many signals of the same layout reuses one plan and
+        // the same coefficient buffer.
+        for round in 0..8 {
+            let y: Vec<f64> = x.iter().map(|&v| v * (round + 1) as f64).collect();
+            engine.stft_into(&y, &cfg, &mut spec).unwrap();
+        }
+        assert_eq!(engine.planner().plans_built(), 1, "same-size frames must share one plan");
+        // Inverse through the engine matches the free function.
+        let mut out = Vec::new();
+        engine.istft_into(&spec, &mut out);
+        assert_eq!(out, istft(&spec));
+    }
+
+    #[test]
+    fn in_place_mutators_match_allocating_variants() {
+        let cfg = StftConfig::new(64, 16, 16.0).unwrap();
+        let x = chirp(512, 16.0);
+        let s = stft(&x, &cfg).unwrap();
+        let mag = s.magnitude();
+        let phase = s.phase();
+        let mask: Vec<f64> =
+            (0..s.bins() * s.frames()).map(|i| if i % 3 == 0 { 0.0 } else { 0.5 }).collect();
+
+        let rebuilt = s.with_magnitude_phase(&mag, &phase).apply_mask(&mask);
+        let mut in_place = s.clone();
+        in_place.set_magnitude_phase(&mag, &phase);
+        in_place.apply_mask_in_place(&mask);
+        for (a, b) in rebuilt.data().iter().zip(in_place.data()) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+
+        let mut scaled = s.clone();
+        scaled.scale_bin(3, 0.0);
+        for m in 0..s.frames() {
+            assert_eq!(scaled.at(3, m), Complex::ZERO);
+            assert_eq!(scaled.at(4, m), s.at(4, m));
         }
     }
 

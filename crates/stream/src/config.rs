@@ -1,0 +1,89 @@
+//! Streaming engine configuration.
+
+use crate::StreamError;
+use dhf_core::DhfConfig;
+
+/// Chunking parameters of a streaming session.
+///
+/// A session analyzes the stream in chunks of `chunk_len` samples spaced
+/// `chunk_len - overlap` apart; consecutive chunks share `overlap` samples
+/// that are cross-faded at emission. Larger chunks give each DHF round
+/// more context (better separation, especially for low fundamentals that
+/// need many cycles per analysis window) at the cost of latency; larger
+/// overlaps smooth seams harder at the cost of redundant computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingConfig {
+    chunk_len: usize,
+    overlap: usize,
+    dhf: DhfConfig,
+}
+
+impl StreamingConfig {
+    /// Creates a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] if `chunk_len` is zero or
+    /// `overlap > chunk_len / 2` (each output sample must be covered by at
+    /// most two chunks for the two-way cross-fade to reconstruct unit
+    /// gain).
+    pub fn new(chunk_len: usize, overlap: usize, dhf: DhfConfig) -> Result<Self, StreamError> {
+        if chunk_len == 0 {
+            return Err(StreamError::InvalidConfig {
+                name: "chunk_len",
+                message: "must be positive".into(),
+            });
+        }
+        if overlap > chunk_len / 2 {
+            return Err(StreamError::InvalidConfig {
+                name: "overlap",
+                message: format!("must be at most chunk_len/2 = {}", chunk_len / 2),
+            });
+        }
+        Ok(StreamingConfig { chunk_len, overlap, dhf })
+    }
+
+    /// Samples per analysis chunk.
+    pub fn chunk_len(&self) -> usize {
+        self.chunk_len
+    }
+
+    /// Samples shared (and cross-faded) between consecutive chunks.
+    pub fn overlap(&self) -> usize {
+        self.overlap
+    }
+
+    /// Stride between chunk starts: `chunk_len - overlap`.
+    pub fn hop(&self) -> usize {
+        self.chunk_len - self.overlap
+    }
+
+    /// The per-chunk DHF pipeline configuration.
+    pub fn dhf(&self) -> &DhfConfig {
+        &self.dhf
+    }
+
+    /// Worst-case samples between ingesting a sample and emitting its
+    /// separated estimate (excluding [`flush`](crate::StreamingSeparator::flush)):
+    /// a sample waits at most until the chunk whose emit region contains
+    /// it is complete, i.e. one full chunk.
+    pub fn max_latency_samples(&self) -> usize {
+        self.chunk_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_parameters() {
+        let dhf = DhfConfig::fast();
+        assert!(StreamingConfig::new(0, 0, dhf.clone()).is_err());
+        assert!(StreamingConfig::new(100, 51, dhf.clone()).is_err());
+        let ok = StreamingConfig::new(100, 50, dhf.clone()).unwrap();
+        assert_eq!(ok.hop(), 50);
+        assert_eq!(ok.max_latency_samples(), 100);
+        assert!(StreamingConfig::new(100, 0, dhf).is_ok());
+    }
+}

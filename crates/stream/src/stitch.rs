@@ -1,0 +1,74 @@
+//! Overlap-add stitching of consecutive chunk estimates.
+
+/// Raised-cosine cross-fade weights for a seam of `overlap` samples: the
+/// weight of the *incoming* chunk at each seam position. The outgoing
+/// chunk gets the complement, so the pair sums to exactly 1 everywhere
+/// (constant-gain stitching of coherent estimates) and both ends taper
+/// smoothly — sample 0 is almost entirely the outgoing chunk, the last
+/// sample almost entirely the incoming one.
+pub fn crossfade_weights(overlap: usize) -> Vec<f64> {
+    (0..overlap)
+        .map(|i| {
+            let x = (i as f64 + 0.5) / overlap as f64;
+            0.5 * (1.0 - (std::f64::consts::PI * x).cos())
+        })
+        .collect()
+}
+
+/// Blends the seam in place: `into[i] = old[i]·(1-w) + new[i]·w`, with a
+/// precomputed weight table (see [`crossfade_weights`]) so per-chunk
+/// blending does no allocation or trig.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length or `weights` is shorter than
+/// the seam.
+pub(crate) fn blend_seam(old_tail: &[f64], incoming: &[f64], weights: &[f64], into: &mut [f64]) {
+    assert_eq!(old_tail.len(), incoming.len());
+    assert_eq!(old_tail.len(), into.len());
+    assert!(weights.len() >= into.len(), "weight table shorter than seam");
+    for i in 0..into.len() {
+        into[i] = old_tail[i] * (1.0 - weights[i]) + incoming[i] * weights[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_unit_gain_and_taper() {
+        let w = crossfade_weights(64);
+        assert_eq!(w.len(), 64);
+        for (i, &wi) in w.iter().enumerate() {
+            assert!((0.0..=1.0).contains(&wi), "weight {wi} at {i}");
+        }
+        // Monotone ramp from ~0 to ~1.
+        for i in 1..w.len() {
+            assert!(w[i] > w[i - 1]);
+        }
+        assert!(w[0] < 0.01);
+        assert!(w[63] > 0.99);
+        // Symmetric: w[i] + w[n-1-i] == 1 (the complement weight).
+        for i in 0..64 {
+            assert!((w[i] + w[63 - i] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn blending_identical_estimates_is_identity() {
+        let est = vec![0.3, -0.7, 1.1, 0.0, 2.5];
+        let w = crossfade_weights(5);
+        let mut out = vec![0.0; 5];
+        blend_seam(&est, &est, &w, &mut out);
+        for (a, b) in est.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_overlap_is_fine() {
+        assert!(crossfade_weights(0).is_empty());
+        blend_seam(&[], &[], &[], &mut []);
+    }
+}

@@ -17,6 +17,8 @@
 //! * [`baselines`] — EMD, VMD, NMF, REPET(-Ext), spectral masking.
 //! * [`core`] — pattern alignment, harmonic masking, deep-prior
 //!   in-painting, and the multi-round separation pipeline.
+//! * [`stream`] — chunked online separation with bounded latency and
+//!   overlap-add stitched chunk seams.
 //! * [`metrics`] — SDR/MSE/correlation with the paper's averaging rules.
 //! * [`oximetry`] — SpO2 estimation from dual-wavelength PPG.
 //!
@@ -40,5 +42,6 @@ pub use dhf_dsp as dsp;
 pub use dhf_metrics as metrics;
 pub use dhf_nn as nn;
 pub use dhf_oximetry as oximetry;
+pub use dhf_stream as stream;
 pub use dhf_synth as synth;
 pub use dhf_tensor as tensor;

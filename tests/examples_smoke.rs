@@ -1,7 +1,7 @@
-//! Miniature versions of the four `examples/*.rs` main paths, so the
-//! examples' underlying flows cannot silently rot. Sizes are cut far below
-//! the examples' defaults (CI additionally compiles the examples
-//! themselves via `cargo build --examples`).
+//! Miniature versions of the `examples/*.rs` main paths, so the examples'
+//! underlying flows cannot silently rot. Sizes are cut far below the
+//! examples' defaults (CI additionally compiles the examples themselves
+//! via `cargo build --examples`).
 
 use dhf::baselines::{masking::SpectralMasking, SeparationContext, Separator};
 use dhf::core::f0::F0Estimator;
@@ -9,6 +9,7 @@ use dhf::core::{separate, DhfConfig};
 use dhf::dsp::filter::band_limit;
 use dhf::metrics::sdr_db;
 use dhf::oximetry::{ac_amplitude, dc_level, modulation_ratio, Calibration};
+use dhf::stream::{StreamingConfig, StreamingSeparator};
 use dhf::synth::invivo::{simulate, InvivoConfig};
 use dhf::synth::table1;
 
@@ -65,6 +66,48 @@ fn synthetic_separation_path() {
     let ctx = SeparationContext { fs: mix.fs, f0_tracks: &tracks };
     let masked = SpectralMasking::default().separate(&observed, &ctx).unwrap();
     assert_eq!(masked.len(), mix.num_sources());
+}
+
+/// `examples/live_stream.rs`: packet-wise streaming separation with
+/// bounded latency, flushed at end of stream.
+#[test]
+fn live_stream_path() {
+    let fs = 100.0;
+    let n = 4000;
+    let track1: Vec<f64> = (0..n)
+        .map(|i| 1.35 + 0.30 * (i as f64 / n as f64 * std::f64::consts::TAU * 3.0).sin())
+        .collect();
+    let track2: Vec<f64> = (0..n)
+        .map(|i| 2.50 + 0.45 * (i as f64 / n as f64 * std::f64::consts::TAU * 4.0).cos())
+        .collect();
+    let render = |track: &[f64], amp: f64| -> Vec<f64> {
+        let mut phase = 0.0;
+        track
+            .iter()
+            .map(|&f| {
+                phase += std::f64::consts::TAU * f / fs;
+                amp * (phase.sin() + 0.4 * (2.0 * phase).sin())
+            })
+            .collect()
+    };
+    let mixed: Vec<f64> =
+        render(&track1, 1.0).iter().zip(&render(&track2, 0.3)).map(|(a, b)| a + b).collect();
+
+    let cfg = StreamingConfig::new(3000, 600, smoke_cfg()).unwrap();
+    let mut sep = StreamingSeparator::new(fs, 2, cfg).unwrap();
+    let mut emitted = 0usize;
+    for lo in (0..n).step_by(100) {
+        let hi = (lo + 100).min(n);
+        let tracks: [&[f64]; 2] = [&track1[lo..hi], &track2[lo..hi]];
+        for block in sep.push(&mixed[lo..hi], &tracks).unwrap() {
+            assert_eq!(block.start, emitted);
+            emitted += block.len();
+        }
+    }
+    let fin = sep.flush().unwrap();
+    emitted += fin.block.map_or(0, |b| b.len());
+    assert_eq!(fin.dropped_samples, 0);
+    assert_eq!(emitted, n, "flush must account for every ingested sample");
 }
 
 /// `examples/f0_tracking.rs`: estimate the maternal track from the mixed

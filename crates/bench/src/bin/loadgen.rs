@@ -1,0 +1,147 @@
+//! Serving-runtime load generator: drives many concurrent synthetic
+//! sessions through a [`dhf_serve::SessionManager`] and reports aggregate
+//! throughput plus end-to-end latency percentiles.
+//!
+//! Knobs (environment variables, all optional):
+//!
+//! * `DHF_SESSIONS` — concurrent sessions (default 64).
+//! * `DHF_WORKERS` — worker shards (default: available parallelism).
+//! * `DHF_CLIENTS` — client threads generating load (default 4).
+//! * `DHF_STREAM_SECONDS` — per-session stream length (default 60 s at
+//!   100 Hz).
+//! * `DHF_PACKET` — samples per push (default 250, i.e. 2.5 s packets).
+//! * `DHF_FAST=1` — smoke settings (16 sessions, 20 s streams).
+//!
+//! ```sh
+//! cargo run --release -p dhf_bench --bin loadgen
+//! DHF_SESSIONS=256 DHF_WORKERS=8 cargo run --release -p dhf_bench --bin loadgen
+//! ```
+
+use dhf_bench::{env_usize, fast_mode};
+use dhf_core::DhfConfig;
+use dhf_serve::{ServeConfig, SessionManager};
+use dhf_stream::StreamingConfig;
+use std::sync::Arc;
+use std::time::Instant;
+
+const FS: f64 = 100.0;
+
+/// One synthetic device: its session id, mixed signal, and f0 tracks.
+type DeviceStream = (dhf_serve::SessionId, Vec<f64>, Vec<Vec<f64>>);
+
+/// Two drifting quasi-periodic sources (the shared `dhf_synth` fixture),
+/// parameterized per session.
+fn make_mix(n: usize, variant: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let duet = dhf_synth::duet::drifting_duet(FS, n, variant as u64);
+    (duet.mixed, duet.f0_tracks)
+}
+
+/// One client thread: streams its slice of the session fleet round-robin,
+/// packet by packet, polling as it goes. Returns separated samples
+/// collected via poll (close-time remainders are counted by the main
+/// thread).
+fn run_client(manager: &SessionManager, sessions: &[DeviceStream], packet: usize) -> u64 {
+    let n = sessions.first().map_or(0, |(_, mix, _)| mix.len());
+    let mut polled_samples = 0u64;
+    let mut lo = 0usize;
+    while lo < n {
+        let hi = (lo + packet).min(n);
+        for (id, mix, tracks) in sessions {
+            let t: Vec<&[f64]> = tracks.iter().map(|t| &t[lo..hi]).collect();
+            loop {
+                match manager.push(*id, &mix[lo..hi], &t) {
+                    Ok(_) => break,
+                    Err(dhf_serve::ServeError::Busy { .. }) => {
+                        // Drain our own output and yield to the workers.
+                        if let Ok(out) = manager.poll(*id) {
+                            polled_samples +=
+                                out.blocks.iter().map(|b| b.len() as u64).sum::<u64>();
+                        }
+                        std::thread::yield_now();
+                    }
+                    Err(e) => panic!("push failed: {e}"),
+                }
+            }
+            if let Ok(out) = manager.poll(*id) {
+                polled_samples += out.blocks.iter().map(|b| b.len() as u64).sum::<u64>();
+            }
+        }
+        lo = hi;
+    }
+    polled_samples
+}
+
+fn main() {
+    let sessions = env_usize("DHF_SESSIONS", if fast_mode() { 16 } else { 64 });
+    let default_workers = std::thread::available_parallelism().map_or(2, |p| p.get());
+    let workers = env_usize("DHF_WORKERS", default_workers);
+    let clients = env_usize("DHF_CLIENTS", 4).clamp(1, sessions.max(1));
+    let stream_seconds = env_usize("DHF_STREAM_SECONDS", if fast_mode() { 20 } else { 60 });
+    let packet = env_usize("DHF_PACKET", 250);
+    let n = (stream_seconds as f64 * FS) as usize;
+
+    // The deterministic in-painter isolates runtime overhead (scheduling,
+    // queueing, stitching, FFT) from deep-prior training time, mirroring
+    // the `throughput` bench.
+    let dhf = DhfConfig::fast().with_harmonic_interp();
+    let scfg = StreamingConfig::new(3000, 600, dhf).expect("valid streaming config");
+    let serve_cfg = ServeConfig::new(workers).expect("valid serve config");
+
+    println!(
+        "loadgen: {sessions} sessions x {stream_seconds} s @ {FS} Hz, \
+         {workers} workers, {clients} client threads, {packet}-sample packets"
+    );
+
+    println!("synthesizing {} samples...", sessions * n);
+    let manager = Arc::new(SessionManager::new(serve_cfg));
+    let mut fleet: Vec<Vec<DeviceStream>> = (0..clients).map(|_| Vec::new()).collect();
+    for s in 0..sessions {
+        let (mix, tracks) = make_mix(n, s);
+        let id = manager.open(FS, 2, scfg.clone()).expect("open session");
+        fleet[s % clients].push((id, mix, tracks));
+    }
+    assert!(manager.open_sessions() >= 64 || sessions < 64, "loadgen drives >= 64 sessions");
+
+    let t0 = Instant::now();
+    let polled: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = fleet
+            .iter()
+            .map(|slice| {
+                let manager = Arc::clone(&manager);
+                scope.spawn(move || run_client(&manager, slice, packet))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).sum()
+    });
+    let manager = Arc::into_inner(manager).expect("all clients joined");
+    let report = manager.shutdown().expect("graceful shutdown");
+    let wall = t0.elapsed();
+
+    let closed: u64 = report
+        .sessions
+        .iter()
+        .map(|(_, o)| o.blocks.iter().map(|b| b.len() as u64).sum::<u64>())
+        .sum();
+    let telemetry = &report.telemetry;
+    println!("\nper-shard telemetry:");
+    print!("{telemetry}");
+
+    let total_out = telemetry.samples_out();
+    assert_eq!(polled + closed, total_out, "every emitted sample is accounted for");
+    let fmt_ms = |p: Option<f64>| p.map_or("-".into(), |v| format!("{:.3} ms", v * 1e3));
+    println!("\naggregate over the load window ({:.2} s wall):", wall.as_secs_f64());
+    println!(
+        "  {} sessions, {} workers: {:.0} separated samples/sec ({:.1}x realtime)",
+        sessions,
+        workers,
+        total_out as f64 / wall.as_secs_f64(),
+        total_out as f64 / wall.as_secs_f64() / FS,
+    );
+    println!(
+        "  ingest latency (enqueue -> processed): p50 {} / p95 {} / p99 {}  ({} packets)",
+        fmt_ms(telemetry.latency_percentile(50.0)),
+        fmt_ms(telemetry.latency_percentile(95.0)),
+        fmt_ms(telemetry.latency_percentile(99.0)),
+        telemetry.latency().count(),
+    );
+}

@@ -230,6 +230,14 @@ pub struct RoundContext {
     collect_reports: bool,
 }
 
+// A session's context (with its cached FFT plans and reused buffers)
+// migrates to its owning worker thread in the serving runtime.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<RoundContext>();
+    assert_send::<DhfConfig>();
+};
+
 impl RoundContext {
     /// Creates a context for the given configuration. Buffers start empty
     /// and grow to the working size on the first round.

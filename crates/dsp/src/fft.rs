@@ -341,6 +341,14 @@ impl FftPlanner {
     }
 }
 
+// The serving runtime ships planner-holding sessions across worker
+// threads at open; a non-`Send` field sneaking in must fail the build,
+// not the deployment.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<FftPlanner>();
+};
+
 thread_local! {
     /// Shared planner behind the free-function API: all `fft`/`ifft`/
     /// `fft_real`/`ifft_real` calls on one thread reuse its plan cache.

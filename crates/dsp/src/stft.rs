@@ -469,6 +469,14 @@ impl StftEngine {
     }
 }
 
+// `StftEngine` holds an `FftPlanner`; the serving runtime moves
+// engine-holding sessions between worker threads.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<StftEngine>();
+    assert_send::<Spectrogram>();
+};
+
 thread_local! {
     /// Shared engine behind the free-function API.
     static THREAD_ENGINE: RefCell<StftEngine> = RefCell::new(StftEngine::new());

@@ -1,0 +1,309 @@
+//! Fixed-bucket latency histogram for serving telemetry.
+//!
+//! Latencies span orders of magnitude (a hot-cache chunk separates in
+//! microseconds, a cold plan build or a queue stall takes milliseconds to
+//! seconds), so the buckets are geometrically spaced: every bucket covers
+//! the same *ratio*, giving constant relative resolution at every scale.
+//! Recording and merging are O(1)/O(buckets) with no allocation, so the
+//! histogram can sit on a serving hot path and shards can merge their
+//! histograms into one fleet-wide view at snapshot time.
+
+/// A fixed-layout histogram of positive values (latencies, by convention
+/// in seconds — any single consistent unit works).
+///
+/// The layout is decided at construction (`lo`, `hi`, bucket count) and
+/// never changes, which is what makes [`merge`](LatencyHistogram::merge)
+/// a plain per-bucket addition. Values outside `[lo, hi]` land in
+/// dedicated underflow/overflow buckets, so no sample is ever lost.
+/// Exact extremes are tracked separately: percentile estimates are
+/// clamped to the observed range, so a single-sample histogram reports
+/// that sample exactly at every percentile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyHistogram {
+    /// Lower edge of the first regular bucket.
+    lo: f64,
+    /// Upper edge of the last regular bucket.
+    hi: f64,
+    /// `counts[0]` is underflow, `counts[n+1]` overflow, the `n` regular
+    /// buckets sit in between with geometric edges.
+    counts: Vec<u64>,
+    total: u64,
+    /// Exact observed extremes (NaN until the first record).
+    min_seen: f64,
+    max_seen: f64,
+    /// Precomputed `ln(lo)` and per-bucket log width.
+    ln_lo: f64,
+    ln_step: f64,
+}
+
+impl LatencyHistogram {
+    /// Creates a histogram with `buckets` geometric buckets spanning
+    /// `[lo, hi]`, plus underflow/overflow buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo < hi`, both finite, and `buckets > 0`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo > 0.0 && lo.is_finite(), "lo must be positive and finite");
+        assert!(hi > lo && hi.is_finite(), "hi must exceed lo and be finite");
+        assert!(buckets > 0, "need at least one bucket");
+        let ln_lo = lo.ln();
+        let ln_step = (hi.ln() - ln_lo) / buckets as f64;
+        LatencyHistogram {
+            lo,
+            hi,
+            counts: vec![0; buckets + 2],
+            total: 0,
+            min_seen: f64::NAN,
+            max_seen: f64::NAN,
+            ln_lo,
+            ln_step,
+        }
+    }
+
+    /// The default serving layout: 1 µs to 60 s in 128 geometric buckets
+    /// (≈ 15% relative resolution per bucket).
+    pub fn for_serving() -> Self {
+        LatencyHistogram::new(1e-6, 60.0, 128)
+    }
+
+    /// Records one value. Non-finite values are ignored; non-positive
+    /// values count as underflow.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let idx = self.bucket_index(v);
+        self.counts[idx] += 1;
+        self.total += 1;
+        // NaN extremes mean "nothing recorded yet".
+        if self.min_seen.is_nan() || v < self.min_seen {
+            self.min_seen = v;
+        }
+        if self.max_seen.is_nan() || v > self.max_seen {
+            self.max_seen = v;
+        }
+    }
+
+    /// Index into `counts` (0 = underflow, len-1 = overflow).
+    fn bucket_index(&self, v: f64) -> usize {
+        if v < self.lo {
+            return 0;
+        }
+        if v >= self.hi {
+            return self.counts.len() - 1;
+        }
+        let b = ((v.ln() - self.ln_lo) / self.ln_step) as usize;
+        // Guard the float edge cases at the boundaries.
+        1 + b.min(self.counts.len() - 3)
+    }
+
+    /// Adds every sample of `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layouts (range or bucket count) differ — merging
+    /// across layouts would silently misattribute counts.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "cannot merge histograms with different layouts"
+        );
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.total += other.total;
+        if other.total > 0 {
+            if self.min_seen.is_nan() || other.min_seen < self.min_seen {
+                self.min_seen = other.min_seen;
+            }
+            if self.max_seen.is_nan() || other.max_seen > self.max_seen {
+                self.max_seen = other.max_seen;
+            }
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded value, or `None` before the first record.
+    pub fn min(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.min_seen)
+        }
+    }
+
+    /// Largest recorded value, or `None` before the first record.
+    pub fn max(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.max_seen)
+        }
+    }
+
+    /// Estimates the `p`-th percentile (`p` in `[0, 100]`), or `None` for
+    /// an empty histogram.
+    ///
+    /// The estimate is the geometric midpoint of the bucket holding the
+    /// `⌈p/100·count⌉`-th smallest sample, clamped to the exact observed
+    /// `[min, max]` — so the error is bounded by the bucket's relative
+    /// width, and degenerate histograms (single sample, constant stream)
+    /// report exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0 * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut cum = 0u64;
+        let mut idx = self.counts.len() - 1;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                idx = i;
+                break;
+            }
+        }
+        let raw = if idx == 0 {
+            // The underflow bucket spans [min_seen, lo).
+            self.min_seen
+        } else if idx == self.counts.len() - 1 {
+            // The overflow bucket spans [hi, max_seen].
+            self.max_seen
+        } else {
+            // Geometric midpoint of the regular bucket's edges.
+            let ln_lo = self.ln_lo + (idx - 1) as f64 * self.ln_step;
+            (ln_lo + 0.5 * self.ln_step).exp()
+        };
+        Some(raw.clamp(self.min_seen, self.max_seen))
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::for_serving()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = LatencyHistogram::for_serving();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.percentile(0.0), None);
+        assert_eq!(h.percentile(100.0), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn single_sample_is_reported_exactly_at_every_percentile() {
+        let mut h = LatencyHistogram::for_serving();
+        h.record(3.7e-3);
+        assert_eq!(h.count(), 1);
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), Some(3.7e-3), "p{p}");
+        }
+        assert_eq!(h.min(), Some(3.7e-3));
+        assert_eq!(h.max(), Some(3.7e-3));
+    }
+
+    #[test]
+    fn percentiles_track_a_known_distribution() {
+        // 100 samples: 1 ms .. 100 ms. With 15% bucket resolution, p50
+        // must land near 50 ms and p99 near 100 ms.
+        let mut h = LatencyHistogram::for_serving();
+        for i in 1..=100 {
+            h.record(i as f64 * 1e-3);
+        }
+        let p50 = h.percentile(50.0).unwrap();
+        let p95 = h.percentile(95.0).unwrap();
+        let p99 = h.percentile(99.0).unwrap();
+        assert!((p50 / 50e-3 - 1.0).abs() < 0.20, "p50 {p50}");
+        assert!((p95 / 95e-3 - 1.0).abs() < 0.20, "p95 {p95}");
+        assert!((p99 / 99e-3 - 1.0).abs() < 0.20, "p99 {p99}");
+        assert!(p50 <= p95 && p95 <= p99, "percentiles must be monotone");
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LatencyHistogram::new(1e-6, 10.0, 64);
+        let mut b = LatencyHistogram::new(1e-6, 10.0, 64);
+        let mut whole = LatencyHistogram::new(1e-6, 10.0, 64);
+        for i in 0..50 {
+            let v = 1e-4 * (1.0 + i as f64);
+            a.record(v);
+            whole.record(v);
+        }
+        for i in 0..30 {
+            let v = 2e-2 * (1.0 + i as f64);
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole, "merge must equal recording everything into one");
+        assert_eq!(a.count(), 80);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = LatencyHistogram::for_serving();
+        a.record(0.25);
+        a.record(0.50);
+        let before = a.clone();
+        a.merge(&LatencyHistogram::for_serving());
+        assert_eq!(a, before);
+
+        let mut empty = LatencyHistogram::for_serving();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "different layouts")]
+    fn merge_rejects_mismatched_layouts() {
+        let mut a = LatencyHistogram::new(1e-6, 10.0, 64);
+        let b = LatencyHistogram::new(1e-6, 10.0, 65);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn out_of_range_samples_survive_in_edge_buckets() {
+        let mut h = LatencyHistogram::new(1e-3, 1.0, 16);
+        h.record(1e-9); // underflow
+        h.record(1e6); // overflow
+        h.record(0.0); // non-positive -> underflow
+        assert_eq!(h.count(), 3);
+        // NaN / infinities are dropped, not misfiled.
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        // The percentile clamp keeps estimates inside the observed range.
+        assert_eq!(h.percentile(0.0), Some(0.0));
+        assert_eq!(h.percentile(100.0), Some(1e6));
+    }
+
+    #[test]
+    fn constant_stream_reports_the_constant() {
+        let mut h = LatencyHistogram::for_serving();
+        for _ in 0..1000 {
+            h.record(42e-3);
+        }
+        for p in [50.0, 95.0, 99.0] {
+            assert_eq!(h.percentile(p), Some(42e-3));
+        }
+    }
+}

@@ -9,6 +9,8 @@
 //! * [`pearson`] — correlation coefficient (Figure 6's metric).
 //! * [`masked_energy_ratio`] — fraction of hidden (masked) energy that
 //!   belongs to the target source, the x-axis of Figure 5(a).
+//! * [`LatencyHistogram`] — fixed-bucket latency distribution for the
+//!   serving runtime (record/merge/percentile).
 //!
 //! # Example
 //!
@@ -21,6 +23,10 @@
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+mod latency;
+
+pub use latency::LatencyHistogram;
 
 /// Signal-to-distortion ratio in dB:
 /// `10·log10(‖s‖² / ‖ŝ − s‖²)`.

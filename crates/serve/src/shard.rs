@@ -1,0 +1,258 @@
+//! One worker shard: its manager↔worker shared state and run loop.
+//!
+//! A shard owns the [`StreamingSeparator`]s of every session hashed onto
+//! it and is the only thread that ever runs them, so each separator's
+//! cached FFT plans and spectrogram buffers — and the worker thread's
+//! thread-local planner behind `dhf_dsp`'s free functions — are reused
+//! across all of the shard's sessions without any synchronization on the
+//! separation hot path.
+//!
+//! Scheduling is batched: the worker takes the shard lock once, drains
+//! *every* ready ingestion queue into a local work list, releases the
+//! lock, and then processes each session's packets back to back. Clients
+//! enqueue concurrently while the worker separates; consecutive packets
+//! of one session run against hot per-session buffers.
+
+use crate::session::SessionShared;
+use crate::telemetry::ShardCounters;
+use crate::CloseOutcome;
+use dhf_stream::StreamingSeparator;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// One queued ingest packet.
+#[derive(Debug)]
+pub(crate) struct IngestItem {
+    pub(crate) samples: Vec<f64>,
+    pub(crate) tracks: Vec<Vec<f64>>,
+    pub(crate) enqueued_at: Instant,
+}
+
+impl IngestItem {
+    fn len(&self) -> usize {
+        self.samples.len()
+    }
+}
+
+/// A session's bounded ingestion queue (bounds enforced by the manager on
+/// the push path; the worker only drains).
+#[derive(Debug, Default)]
+pub(crate) struct SessionQueue {
+    pub(crate) items: VecDeque<IngestItem>,
+    /// Samples currently queued (cached sum of item lengths).
+    pub(crate) queued_samples: usize,
+    /// Samples ever accepted into this queue — the session's absolute
+    /// stream position for push-time validation messages.
+    pub(crate) enqueued_total: usize,
+}
+
+/// Manager→worker commands. Session *data* does not travel as commands —
+/// it flows through [`SessionQueue`]s — so the command queue stays short
+/// and a slow separation never delays another session's enqueue.
+pub(crate) enum Command {
+    /// Register a freshly opened session. The separator was built (and
+    /// validated) on the caller's thread and migrates here — the reason
+    /// `StreamingSeparator` carries a compile-time `Send` assertion.
+    /// Boxed so the command enum stays small (a separator is ~1 kB of
+    /// inline buffers).
+    Open { id: u64, sep: Box<StreamingSeparator>, shared: Arc<SessionShared> },
+    /// Close a session: run `leftovers` (the queue's remaining packets,
+    /// removed by the manager in the same critical section that removed
+    /// the queue), flush, and hand everything still unpolled back through
+    /// `ack`.
+    Close { id: u64, leftovers: Vec<IngestItem>, ack: Sender<CloseOutcome> },
+}
+
+/// State shared between the manager and one worker thread.
+#[derive(Default)]
+pub(crate) struct ShardShared {
+    pub(crate) state: Mutex<ShardState>,
+    pub(crate) cv: Condvar,
+}
+
+#[derive(Default)]
+pub(crate) struct ShardState {
+    pub(crate) commands: VecDeque<Command>,
+    /// Ingestion queues keyed by session id. Created/removed by the
+    /// manager (open/close), drained by the worker.
+    pub(crate) queues: HashMap<u64, SessionQueue>,
+    pub(crate) stop: bool,
+}
+
+/// A session as the worker sees it.
+struct WorkerSession {
+    sep: Box<StreamingSeparator>,
+    shared: Arc<SessionShared>,
+    /// Set once a chunk separation fails; later packets are skipped (and
+    /// counted as dropped) instead of grinding a broken stream.
+    failed: bool,
+    /// Samples the engine accepted (buffered), including the packet whose
+    /// chunk failed. With `emitted`, closes the telemetry books: whatever
+    /// was accepted but never emitted is reported as dropped at close.
+    accepted: usize,
+    /// Samples delivered to the mailbox (or handed back at close).
+    emitted: usize,
+    /// Samples skipped because the session had already failed — they
+    /// never reached the engine, and are reported as dropped at close.
+    skipped: usize,
+}
+
+/// The worker run loop. Exits when `stop` is set and no commands remain.
+pub(crate) fn run_worker(shared: Arc<ShardShared>, counters: Arc<ShardCounters>) {
+    let mut sessions: HashMap<u64, WorkerSession> = HashMap::new();
+    loop {
+        let (commands, mut batches, stop) = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                let ready = st.stop
+                    || !st.commands.is_empty()
+                    || st.queues.values().any(|q| !q.items.is_empty());
+                if ready {
+                    break;
+                }
+                st = shared.cv.wait(st).unwrap();
+            }
+            let commands: Vec<Command> = st.commands.drain(..).collect();
+            let mut batches: Vec<(u64, Vec<IngestItem>)> = Vec::new();
+            for (&id, q) in st.queues.iter_mut() {
+                if !q.items.is_empty() {
+                    q.queued_samples = 0;
+                    batches.push((id, q.items.drain(..).collect()));
+                }
+            }
+            (commands, batches, st.stop)
+        };
+
+        if stop && commands.is_empty() && batches.is_empty() {
+            return;
+        }
+
+        // Commands in arrival order. An `Open` always precedes anything
+        // else for its id; a `Close` carries its queue's leftovers
+        // in-band, and a batch drained in the same critical section as a
+        // `Close` is impossible (the close removed the queue first) — so
+        // per-session ordering is preserved without cross-checks.
+        for cmd in commands {
+            match cmd {
+                Command::Open { id, sep, shared } => {
+                    let ws = WorkerSession {
+                        sep,
+                        shared,
+                        failed: false,
+                        accepted: 0,
+                        emitted: 0,
+                        skipped: 0,
+                    };
+                    sessions.insert(id, ws);
+                }
+                Command::Close { id, leftovers, ack } => {
+                    let outcome = match sessions.remove(&id) {
+                        Some(mut ws) => close_session(&mut ws, leftovers, &counters),
+                        // Unreachable through the manager API (the entry
+                        // existed until this command), but don't wedge the
+                        // caller if it ever happens.
+                        None => {
+                            CloseOutcome { blocks: Vec::new(), dropped_samples: 0, error: None }
+                        }
+                    };
+                    // A vanished caller is not the worker's problem.
+                    let _ = ack.send(outcome);
+                }
+            }
+        }
+
+        // The batch: every ready session's packets, back to back per
+        // session. Id order keeps scheduling reproducible run to run.
+        batches.sort_unstable_by_key(|(id, _)| *id);
+        if !batches.is_empty() {
+            counters.batches_run.fetch_add(1, Ordering::Relaxed);
+        }
+        for (id, items) in batches {
+            // A batch can outlive its session only by racing a close, and
+            // close drains the queue first — but stay defensive.
+            if let Some(ws) = sessions.get_mut(&id) {
+                for item in items {
+                    process_item(ws, item, &counters);
+                }
+            }
+        }
+    }
+}
+
+/// Runs one ingest packet through its session's engine, delivers any
+/// completed blocks to the mailbox, and records telemetry. A packet
+/// arriving after the session failed is skipped (tallied in
+/// `WorkerSession::skipped` for the close-time books and in the shard's
+/// dropped counter immediately).
+fn process_item(ws: &mut WorkerSession, item: IngestItem, counters: &ShardCounters) {
+    if ws.failed {
+        ws.skipped += item.len();
+        counters.dropped_samples.fetch_add(item.len() as u64, Ordering::Relaxed);
+        return;
+    }
+    let track_refs: Vec<&[f64]> = item.tracks.iter().map(Vec::as_slice).collect();
+    // The manager validated the packet, so an error here is a chunk
+    // separation failure — which happens *after* the engine buffered the
+    // samples. Either way the engine accepted them.
+    ws.accepted += item.len();
+    match ws.sep.push(&item.samples, &track_refs) {
+        Ok(blocks) => {
+            if !blocks.is_empty() {
+                let emitted: usize = blocks.iter().map(|b| b.len()).sum();
+                ws.emitted += emitted;
+                counters.samples_out.fetch_add(emitted as u64, Ordering::Relaxed);
+                counters.blocks_emitted.fetch_add(blocks.len() as u64, Ordering::Relaxed);
+                ws.shared.mailbox.lock().unwrap().blocks.extend(blocks);
+            }
+        }
+        Err(e) => {
+            ws.failed = true;
+            ws.shared.mailbox.lock().unwrap().error = Some(e);
+        }
+    }
+    counters.packets_processed.fetch_add(1, Ordering::Relaxed);
+    counters.latency.lock().unwrap().record(item.enqueued_at.elapsed().as_secs_f64());
+}
+
+/// Drains a closing session: leftovers, flush, mailbox.
+fn close_session(
+    ws: &mut WorkerSession,
+    leftovers: Vec<IngestItem>,
+    counters: &ShardCounters,
+) -> CloseOutcome {
+    for item in leftovers {
+        process_item(ws, item, counters);
+    }
+    let mut flush_block = None;
+    if !ws.failed {
+        match ws.sep.flush() {
+            Ok(fin) => flush_block = fin.block,
+            Err(e) => {
+                ws.failed = true;
+                ws.shared.mailbox.lock().unwrap().error = Some(e);
+            }
+        }
+    }
+    let mut mailbox = ws.shared.mailbox.lock().unwrap();
+    let mut blocks = std::mem::take(&mut mailbox.blocks);
+    let error = mailbox.error.take();
+    drop(mailbox);
+    if let Some(b) = flush_block {
+        ws.emitted += b.len();
+        counters.samples_out.fetch_add(b.len() as u64, Ordering::Relaxed);
+        counters.blocks_emitted.fetch_add(1, Ordering::Relaxed);
+        blocks.push(b);
+    }
+    // Close the books: whatever the engine accepted but never emitted is
+    // gone now. For a healthy session this is exactly the flush's
+    // too-short-to-cover tail; for a failed one it also covers everything
+    // stranded in the engine's buffers. `skipped` adds the packets that
+    // never reached the engine after the failure (mid-stream and
+    // close-time alike).
+    let unflushed = ws.accepted.saturating_sub(ws.emitted);
+    counters.dropped_samples.fetch_add(unflushed as u64, Ordering::Relaxed);
+    CloseOutcome { blocks, dropped_samples: ws.skipped + unflushed, error }
+}

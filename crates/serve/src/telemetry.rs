@@ -1,0 +1,180 @@
+//! Serving telemetry: per-shard counters and point-in-time snapshots.
+
+use dhf_metrics::LatencyHistogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Live per-shard counters, shared between the manager (writers on the
+/// push path) and the worker thread (writers on the processing path).
+/// Everything hot is an atomic; only the latency histogram takes a lock,
+/// and only once per processed packet.
+#[derive(Debug, Default)]
+pub(crate) struct ShardCounters {
+    pub(crate) samples_in: AtomicU64,
+    pub(crate) samples_out: AtomicU64,
+    pub(crate) blocks_emitted: AtomicU64,
+    pub(crate) packets_processed: AtomicU64,
+    pub(crate) batches_run: AtomicU64,
+    pub(crate) busy_rejections: AtomicU64,
+    pub(crate) dropped_samples: AtomicU64,
+    pub(crate) latency: Mutex<LatencyHistogram>,
+}
+
+impl ShardCounters {
+    pub(crate) fn snapshot(
+        &self,
+        shard: usize,
+        open_sessions: usize,
+        queue_depth_samples: usize,
+        elapsed: Duration,
+    ) -> ShardSnapshot {
+        let samples_out = self.samples_out.load(Ordering::Relaxed);
+        let secs = elapsed.as_secs_f64();
+        ShardSnapshot {
+            shard,
+            open_sessions,
+            queue_depth_samples,
+            samples_in: self.samples_in.load(Ordering::Relaxed),
+            samples_out,
+            blocks_emitted: self.blocks_emitted.load(Ordering::Relaxed),
+            packets_processed: self.packets_processed.load(Ordering::Relaxed),
+            batches_run: self.batches_run.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            dropped_samples: self.dropped_samples.load(Ordering::Relaxed),
+            samples_per_sec: if secs > 0.0 { samples_out as f64 / secs } else { 0.0 },
+            latency: self.latency.lock().unwrap().clone(),
+        }
+    }
+}
+
+/// Point-in-time view of one worker shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSnapshot {
+    /// Shard index in `[0, workers)`.
+    pub shard: usize,
+    /// Sessions currently owned by this shard.
+    pub open_sessions: usize,
+    /// Samples waiting in this shard's ingestion queues right now.
+    pub queue_depth_samples: usize,
+    /// Samples accepted into this shard's queues since start.
+    pub samples_in: u64,
+    /// Separated samples emitted by this shard since start.
+    pub samples_out: u64,
+    /// Output blocks delivered to mailboxes.
+    pub blocks_emitted: u64,
+    /// Ingest packets run through session engines.
+    pub packets_processed: u64,
+    /// Scheduling batches executed (one batch = one lock acquisition
+    /// draining every ready queue; packets-per-batch is the measure of how
+    /// well the scheduler amortizes wakeups).
+    pub batches_run: u64,
+    /// Pushes rejected by the `Busy` backpressure policy.
+    pub busy_rejections: u64,
+    /// Samples evicted by `DropOldest` or skipped after a session failure.
+    pub dropped_samples: u64,
+    /// `samples_out` over the manager's lifetime — the shard's sustained
+    /// separation throughput.
+    pub samples_per_sec: f64,
+    /// Ingestion latency distribution in seconds, one record per packet:
+    /// enqueue (push accepted) until the worker finished processing the
+    /// packet — at which point any output the packet completed is in the
+    /// mailbox. Packets that only buffer (no chunk boundary crossed)
+    /// record their queue+ingest time; the per-*sample* output latency is
+    /// additionally bounded by the streaming config's one-chunk latency.
+    pub latency: LatencyHistogram,
+}
+
+/// Snapshot of the whole runtime, taken by
+/// [`SessionManager::telemetry`](crate::SessionManager::telemetry).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Telemetry {
+    /// Time since the manager started.
+    pub elapsed: Duration,
+    /// One snapshot per worker shard, in shard order.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl Telemetry {
+    /// Total samples accepted across shards.
+    pub fn samples_in(&self) -> u64 {
+        self.shards.iter().map(|s| s.samples_in).sum()
+    }
+
+    /// Total separated samples emitted across shards.
+    pub fn samples_out(&self) -> u64 {
+        self.shards.iter().map(|s| s.samples_out).sum()
+    }
+
+    /// Total samples evicted or skipped across shards.
+    pub fn dropped_samples(&self) -> u64 {
+        self.shards.iter().map(|s| s.dropped_samples).sum()
+    }
+
+    /// Total pushes rejected with `Busy` across shards.
+    pub fn busy_rejections(&self) -> u64 {
+        self.shards.iter().map(|s| s.busy_rejections).sum()
+    }
+
+    /// Aggregate separation throughput in samples per second.
+    pub fn samples_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.samples_out() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// All shards' latency histograms merged into one fleet-wide view.
+    pub fn latency(&self) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::for_serving();
+        for s in &self.shards {
+            merged.merge(&s.latency);
+        }
+        merged
+    }
+
+    /// Fleet-wide enqueue→processed latency percentile in seconds
+    /// (`None` before any packet completed).
+    pub fn latency_percentile(&self, p: f64) -> Option<f64> {
+        self.latency().percentile(p)
+    }
+}
+
+impl std::fmt::Display for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:>5} {:>8} {:>10} {:>12} {:>12} {:>9} {:>8} {:>8}",
+            "shard", "sessions", "queue", "samples/s", "samples out", "packets", "busy", "dropped"
+        )?;
+        for s in &self.shards {
+            writeln!(
+                f,
+                "{:>5} {:>8} {:>10} {:>12.0} {:>12} {:>9} {:>8} {:>8}",
+                s.shard,
+                s.open_sessions,
+                s.queue_depth_samples,
+                s.samples_per_sec,
+                s.samples_out,
+                s.packets_processed,
+                s.busy_rejections,
+                s.dropped_samples,
+            )?;
+        }
+        let fmt_ms = |p: Option<f64>| match p {
+            Some(v) => format!("{:.3} ms", v * 1e3),
+            None => "-".to_string(),
+        };
+        writeln!(
+            f,
+            "total: {:.0} samples/s over {:.2} s; latency p50 {} / p95 {} / p99 {}",
+            self.samples_per_sec(),
+            self.elapsed.as_secs_f64(),
+            fmt_ms(self.latency_percentile(50.0)),
+            fmt_ms(self.latency_percentile(95.0)),
+            fmt_ms(self.latency_percentile(99.0)),
+        )
+    }
+}

@@ -1,0 +1,96 @@
+//! The serving determinism invariant (property test): a session's output
+//! through the sharded [`SessionManager`] must be **bit-identical** to
+//! running the same stream through a plain serial
+//! [`dhf_stream::StreamingSeparator`] — for any number of concurrent
+//! sessions, worker counts, chunkings, and push granularities.
+//!
+//! This is the contract that makes the serving layer safe to deploy over
+//! the reproduction: scheduling, sharding, batching, and queueing may
+//! reorder *work*, but never change *results*.
+
+use dhf_core::DhfConfig;
+use dhf_serve::{ServeConfig, SessionManager};
+use dhf_stream::{separate_streamed, StreamingConfig};
+use proptest::prelude::*;
+
+/// Two drifting quasi-periodic sources (the shared `dhf_synth` fixture),
+/// parameterized per session so every concurrent stream is distinct.
+fn make_mix(fs: f64, n: usize, variant: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let duet = dhf_synth::duet::drifting_duet(fs, n, variant as u64);
+    (duet.mixed, duet.f0_tracks)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn served_sessions_are_bit_identical_to_serial_runs(
+        n_sessions in 3usize..7,
+        workers in 1usize..5,
+        chunk_len in 2600usize..3400,
+        overlap_frac in 0.05f64..0.40,
+        packet in 180usize..900,
+    ) {
+        let fs = 100.0;
+        let n = 6500;
+        let overlap = ((chunk_len as f64 * overlap_frac) as usize).min(chunk_len / 2);
+        let dhf = DhfConfig::fast().with_harmonic_interp();
+        let scfg = StreamingConfig::new(chunk_len, overlap, dhf).unwrap();
+
+        // Serial references, one independent separator per stream.
+        let streams: Vec<(Vec<f64>, Vec<Vec<f64>>)> =
+            (0..n_sessions).map(|s| make_mix(fs, n, s)).collect();
+        let serial: Vec<(Vec<Vec<f64>>, usize)> = streams
+            .iter()
+            .map(|(mix, tracks)| separate_streamed(mix, fs, tracks, &scfg).unwrap())
+            .collect();
+
+        // Served: all sessions concurrently, packets interleaved
+        // round-robin across sessions so every worker juggles its
+        // sessions mid-stream, with interior polls racing the workers.
+        let manager = SessionManager::new(ServeConfig::new(workers).unwrap());
+        let ids: Vec<_> = (0..n_sessions)
+            .map(|_| manager.open(fs, 2, scfg.clone()).unwrap())
+            .collect();
+        let mut got: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); 2]; n_sessions];
+        let deliver = |s: usize, blocks: Vec<dhf_stream::StreamBlock>,
+                       got: &mut Vec<Vec<Vec<f64>>>| {
+            for b in blocks {
+                assert_eq!(got[s][0].len(), b.start, "session {s}: blocks out of order");
+                for (src, est) in b.sources.iter().enumerate() {
+                    got[s][src].extend_from_slice(est);
+                }
+            }
+        };
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + packet).min(n);
+            for (s, (mix, tracks)) in streams.iter().enumerate() {
+                let t: Vec<&[f64]> = tracks.iter().map(|t| &t[lo..hi]).collect();
+                let receipt = manager.push(ids[s], &mix[lo..hi], &t).unwrap();
+                prop_assert_eq!(receipt.dropped_samples, 0);
+                let out = manager.poll(ids[s]).unwrap();
+                prop_assert!(out.error.is_none());
+                deliver(s, out.blocks, &mut got);
+            }
+            lo = hi;
+        }
+        for (s, id) in ids.iter().enumerate() {
+            let fin = manager.close(*id).unwrap();
+            prop_assert!(fin.error.is_none());
+            prop_assert_eq!(fin.dropped_samples, serial[s].1, "session {}", s);
+            deliver(s, fin.blocks, &mut got);
+        }
+        let report = manager.shutdown().unwrap();
+        prop_assert_eq!(report.telemetry.samples_in(), (n_sessions * n) as u64);
+
+        for (s, (want, _)) in serial.iter().enumerate() {
+            prop_assert_eq!(
+                &got[s], want,
+                "session {} served output differs from its serial run \
+                 (workers {}, chunk {}, overlap {}, packet {})",
+                s, workers, chunk_len, overlap, packet
+            );
+        }
+    }
+}

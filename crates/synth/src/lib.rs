@@ -31,6 +31,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod duet;
 pub mod invivo;
 pub mod schedule;
 pub mod source;

@@ -19,6 +19,8 @@
 //!   in-painting, and the multi-round separation pipeline.
 //! * [`stream`] — chunked online separation with bounded latency and
 //!   overlap-add stitched chunk seams.
+//! * [`serve`] — sharded multi-session serving runtime: batched
+//!   scheduling, bounded queues with backpressure, latency telemetry.
 //! * [`metrics`] — SDR/MSE/correlation with the paper's averaging rules.
 //! * [`oximetry`] — SpO2 estimation from dual-wavelength PPG.
 //!
@@ -42,6 +44,7 @@ pub use dhf_dsp as dsp;
 pub use dhf_metrics as metrics;
 pub use dhf_nn as nn;
 pub use dhf_oximetry as oximetry;
+pub use dhf_serve as serve;
 pub use dhf_stream as stream;
 pub use dhf_synth as synth;
 pub use dhf_tensor as tensor;

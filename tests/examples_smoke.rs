@@ -9,6 +9,7 @@ use dhf::core::{separate, DhfConfig};
 use dhf::dsp::filter::band_limit;
 use dhf::metrics::sdr_db;
 use dhf::oximetry::{ac_amplitude, dc_level, modulation_ratio, Calibration};
+use dhf::serve::{ServeConfig, SessionManager};
 use dhf::stream::{StreamingConfig, StreamingSeparator};
 use dhf::synth::invivo::{simulate, InvivoConfig};
 use dhf::synth::table1;
@@ -108,6 +109,47 @@ fn live_stream_path() {
     emitted += fin.block.map_or(0, |b| b.len());
     assert_eq!(fin.dropped_samples, 0);
     assert_eq!(emitted, n, "flush must account for every ingested sample");
+}
+
+/// `examples/serve_sessions.rs`: a miniature device fleet through the
+/// sharded serving runtime — open, interleaved pushes, poll, graceful
+/// shutdown, telemetry accounting.
+#[test]
+fn serve_sessions_path() {
+    let fs = 100.0;
+    let n = 3600;
+    let devices = 3;
+    let scfg = StreamingConfig::new(3000, 600, DhfConfig::fast().with_harmonic_interp()).unwrap();
+    let manager = SessionManager::new(ServeConfig::new(2).unwrap());
+    let streams: Vec<_> = (0..devices)
+        .map(|d| {
+            let duet = dhf::synth::duet::drifting_duet(fs, n, d as u64);
+            (duet.mixed, duet.f0_tracks)
+        })
+        .collect();
+    let ids: Vec<_> = (0..devices).map(|_| manager.open(fs, 2, scfg.clone()).unwrap()).collect();
+
+    let mut emitted = vec![0usize; devices];
+    for lo in (0..n).step_by(300) {
+        let hi = (lo + 300).min(n);
+        for (d, (mixed, tracks)) in streams.iter().enumerate() {
+            let t: Vec<&[f64]> = tracks.iter().map(|t| &t[lo..hi]).collect();
+            manager.push(ids[d], &mixed[lo..hi], &t).unwrap();
+            let out = manager.poll(ids[d]).unwrap();
+            assert!(out.error.is_none());
+            emitted[d] += out.blocks.iter().map(|b| b.len()).sum::<usize>();
+        }
+    }
+    let report = manager.shutdown().unwrap();
+    assert_eq!(report.sessions.len(), devices);
+    for (id, outcome) in &report.sessions {
+        let d = ids.iter().position(|i| i == id).expect("known session");
+        assert_eq!(outcome.dropped_samples, 0);
+        emitted[d] += outcome.blocks.iter().map(|b| b.len()).sum::<usize>();
+    }
+    assert!(emitted.iter().all(|&e| e == n), "every device's stream must come back in full");
+    assert_eq!(report.telemetry.samples_out(), (devices * n) as u64);
+    assert!(report.telemetry.latency_percentile(99.0).is_some());
 }
 
 /// `examples/f0_tracking.rs`: estimate the maternal track from the mixed

@@ -103,15 +103,27 @@ macro_rules! prop_assert {
 }
 
 /// Asserts two expressions are equal inside a [`proptest!`] body.
+/// Like the real crate's macro, extra arguments become a custom message
+/// prepended to the left/right dump.
 #[macro_export]
 macro_rules! prop_assert_eq {
-    ($left:expr, $right:expr) => {{
+    ($left:expr, $right:expr $(,)?) => {{
         let (l, r) = (&$left, &$right);
         $crate::prop_assert!(
             *l == *r,
             "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
             stringify!($left),
             stringify!($right),
+            l,
+            r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{} (left: `{:?}`, right: `{:?}`)",
+            ::std::format!($($fmt)+),
             l,
             r,
         );

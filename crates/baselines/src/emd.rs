@@ -1,4 +1,4 @@
-//! Empirical Mode Decomposition (Huang et al. [5]).
+//! Empirical Mode Decomposition (Huang et al. \[5\]).
 //!
 //! The classic sifting procedure: at each step the mean of the upper and
 //! lower cubic-spline envelopes (through local maxima/minima) is

@@ -1,20 +1,20 @@
 //! Baseline single-channel source-separation methods compared against DHF
 //! in the paper's Table 2, all implemented from scratch:
 //!
-//! * [`emd::Emd`] — Empirical Mode Decomposition (Huang et al. [5]):
+//! * [`emd::Emd`] — Empirical Mode Decomposition (Huang et al. \[5\]):
 //!   sifting with cubic-spline envelopes, IMFs assigned to sources by
 //!   harmonic affinity.
 //! * [`vmd::Vmd`] — Variational Mode Decomposition (Dragomiretskiy &
-//!   Zosso [1]): ADMM in the Fourier domain with Wiener-like mode updates.
-//! * [`nmf::Nmf`] — Non-negative Matrix Factorization (Lee & Seung [9])
+//!   Zosso \[1\]): ADMM in the Fourier domain with Wiener-like mode updates.
+//! * [`nmf::Nmf`] — Non-negative Matrix Factorization (Lee & Seung \[9\])
 //!   of the magnitude spectrogram with multiplicative updates and Wiener
 //!   reconstruction.
 //! * [`repet::Repet`] / [`repet::RepetExtended`] — REpeating Pattern
-//!   Extraction Technique (Rafii & Pardo [14]): beat-spectrum period
+//!   Extraction Technique (Rafii & Pardo \[14\]): beat-spectrum period
 //!   estimation and median repeating models; the Extended variant adapts
 //!   per time segment.
 //! * [`masking::SpectralMasking`] — harmonic-comb binary masking
-//!   (Gerkmann & Vincent [3]), the paper's strongest prior-work
+//!   (Gerkmann & Vincent \[3\]), the paper's strongest prior-work
 //!   comparator.
 //!
 //! All methods implement the [`Separator`] trait and receive the same

@@ -1,4 +1,4 @@
-//! Spectral masking (Gerkmann & Vincent [3]) with harmonic-comb masks —
+//! Spectral masking (Gerkmann & Vincent \[3\]) with harmonic-comb masks —
 //! the state-of-the-art comparator in the paper's Table 2 and §4.3.
 //!
 //! Each time-frequency bin is claimed by the source whose predicted

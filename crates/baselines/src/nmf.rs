@@ -1,4 +1,4 @@
-//! Non-negative Matrix Factorization (Lee & Seung [9]) of the magnitude
+//! Non-negative Matrix Factorization (Lee & Seung \[9\]) of the magnitude
 //! spectrogram, `V ≈ W·H`, with Euclidean multiplicative updates.
 //!
 //! Basis columns are allocated per source harmonic and initialized as

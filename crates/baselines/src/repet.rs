@@ -1,4 +1,4 @@
-//! REpeating Pattern Extraction Technique (Rafii & Pardo [14]).
+//! REpeating Pattern Extraction Technique (Rafii & Pardo \[14\]).
 //!
 //! REPET models the most repetitive spectro-temporal structure: a *beat
 //! spectrum* (bin-averaged autocorrelation of the power spectrogram)

@@ -1,4 +1,4 @@
-//! Variational Mode Decomposition (Dragomiretskiy & Zosso [1]).
+//! Variational Mode Decomposition (Dragomiretskiy & Zosso \[1\]).
 //!
 //! ADMM over the half spectrum: each mode is updated by a Wiener-like
 //! filter centred at its frequency `ω_k`, centre frequencies move to their

@@ -4,6 +4,9 @@
 //!
 //! Knobs (environment variables, all optional):
 //!
+//! * `DHF_SCENARIO` — `separation` (default: raw two-source separation
+//!   sessions) or `oximetry` (dual-wavelength fetal-SpO2 sessions over
+//!   synthetic desaturation recordings).
 //! * `DHF_SESSIONS` — concurrent sessions (default 64).
 //! * `DHF_WORKERS` — worker shards (default: available parallelism).
 //! * `DHF_CLIENTS` — client threads generating load (default 4).
@@ -15,19 +18,29 @@
 //! ```sh
 //! cargo run --release -p dhf_bench --bin loadgen
 //! DHF_SESSIONS=256 DHF_WORKERS=8 cargo run --release -p dhf_bench --bin loadgen
+//! DHF_SCENARIO=oximetry cargo run --release -p dhf_bench --bin loadgen
 //! ```
 
 use dhf_bench::{env_usize, fast_mode};
 use dhf_core::DhfConfig;
+use dhf_oximetry::{Calibration, OximetryConfig};
 use dhf_serve::{ServeConfig, SessionManager};
 use dhf_stream::StreamingConfig;
+use dhf_synth::dualwave::{generate, DualWaveConfig, Spo2Scenario};
+use dhf_synth::invivo::{CALIBRATION_K, CALIBRATION_W0, CALIBRATION_W1};
 use std::sync::Arc;
 use std::time::Instant;
 
 const FS: f64 = 100.0;
 
-/// One synthetic device: its session id, mixed signal, and f0 tracks.
-type DeviceStream = (dhf_serve::SessionId, Vec<f64>, Vec<Vec<f64>>);
+/// One synthetic device: its session id, the channel(s) it streams, and
+/// the shared f0 tracks. Separation devices leave `lambda2` empty.
+struct DeviceStream {
+    id: dhf_serve::SessionId,
+    lambda1: Vec<f64>,
+    lambda2: Option<Vec<f64>>,
+    tracks: Vec<Vec<f64>>,
+}
 
 /// Two drifting quasi-periodic sources (the shared `dhf_synth` fixture),
 /// parameterized per session.
@@ -36,42 +49,68 @@ fn make_mix(n: usize, variant: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
     (duet.mixed, duet.f0_tracks)
 }
 
+/// Per-session dual-wavelength desaturation recording (distinct seed per
+/// session) for the oximetry scenario.
+fn make_oximetry_stream(seconds: f64, variant: usize) -> (Vec<f64>, Vec<f64>, Vec<Vec<f64>>) {
+    let cfg = DualWaveConfig::new(Spo2Scenario::desaturation(0.55, 0.35), seconds)
+        .with_seed(0xF_0E7A + variant as u64);
+    let rec = generate(&cfg);
+    let [l1, l2] = rec.mixed;
+    (l1, l2, vec![rec.f0.maternal, rec.f0.fetal])
+}
+
 /// One client thread: streams its slice of the session fleet round-robin,
-/// packet by packet, polling as it goes. Returns separated samples
-/// collected via poll (close-time remainders are counted by the main
-/// thread).
-fn run_client(manager: &SessionManager, sessions: &[DeviceStream], packet: usize) -> u64 {
-    let n = sessions.first().map_or(0, |(_, mix, _)| mix.len());
+/// packet by packet, polling as it goes. Returns separated samples and
+/// SpO2 windows collected via poll (close-time remainders are counted by
+/// the main thread).
+fn run_client(manager: &SessionManager, sessions: &[DeviceStream], packet: usize) -> (u64, u64) {
+    let n = sessions.first().map_or(0, |d| d.lambda1.len());
     let mut polled_samples = 0u64;
+    let mut polled_windows = 0u64;
+    let mut drain = |out: dhf_serve::SessionOutput| {
+        polled_samples += out.blocks.iter().map(|b| b.len() as u64).sum::<u64>();
+        polled_windows += out.spo2.len() as u64;
+    };
     let mut lo = 0usize;
     while lo < n {
         let hi = (lo + packet).min(n);
-        for (id, mix, tracks) in sessions {
-            let t: Vec<&[f64]> = tracks.iter().map(|t| &t[lo..hi]).collect();
+        for dev in sessions {
+            let t: Vec<&[f64]> = dev.tracks.iter().map(|t| &t[lo..hi]).collect();
             loop {
-                match manager.push(*id, &mix[lo..hi], &t) {
+                let pushed = match &dev.lambda2 {
+                    None => manager.push(dev.id, &dev.lambda1[lo..hi], &t),
+                    Some(l2) => {
+                        manager.push_oximetry(dev.id, &dev.lambda1[lo..hi], &l2[lo..hi], &t)
+                    }
+                };
+                match pushed {
                     Ok(_) => break,
                     Err(dhf_serve::ServeError::Busy { .. }) => {
                         // Drain our own output and yield to the workers.
-                        if let Ok(out) = manager.poll(*id) {
-                            polled_samples +=
-                                out.blocks.iter().map(|b| b.len() as u64).sum::<u64>();
+                        if let Ok(out) = manager.poll(dev.id) {
+                            drain(out);
                         }
                         std::thread::yield_now();
                     }
                     Err(e) => panic!("push failed: {e}"),
                 }
             }
-            if let Ok(out) = manager.poll(*id) {
-                polled_samples += out.blocks.iter().map(|b| b.len() as u64).sum::<u64>();
+            if let Ok(out) = manager.poll(dev.id) {
+                drain(out);
             }
         }
         lo = hi;
     }
-    polled_samples
+    (polled_samples, polled_windows)
 }
 
 fn main() {
+    let scenario = std::env::var("DHF_SCENARIO").unwrap_or_else(|_| "separation".into());
+    let oximetry = match scenario.as_str() {
+        "separation" => false,
+        "oximetry" => true,
+        other => panic!("unknown DHF_SCENARIO `{other}` (use `separation` or `oximetry`)"),
+    };
     let sessions = env_usize("DHF_SESSIONS", if fast_mode() { 16 } else { 64 });
     let default_workers = std::thread::available_parallelism().map_or(2, |p| p.get());
     let workers = env_usize("DHF_WORKERS", default_workers);
@@ -86,24 +125,42 @@ fn main() {
     let dhf = DhfConfig::fast().with_harmonic_interp();
     let scfg = StreamingConfig::new(3000, 600, dhf).expect("valid streaming config");
     let serve_cfg = ServeConfig::new(workers).expect("valid serve config");
+    // Oximetry sessions: 20 s SpO2 windows every 10 s under the
+    // simulator's forward calibration.
+    let ocfg = OximetryConfig::new(
+        1,
+        (20.0 * FS) as usize,
+        (10.0 * FS) as usize,
+        Calibration { w0: CALIBRATION_W0, w1: CALIBRATION_W1, k: CALIBRATION_K },
+    )
+    .expect("valid oximetry config");
 
     println!(
-        "loadgen: {sessions} sessions x {stream_seconds} s @ {FS} Hz, \
+        "loadgen[{scenario}]: {sessions} sessions x {stream_seconds} s @ {FS} Hz, \
          {workers} workers, {clients} client threads, {packet}-sample packets"
     );
 
-    println!("synthesizing {} samples...", sessions * n);
+    println!("synthesizing {} samples...", sessions * n * if oximetry { 2 } else { 1 });
     let manager = Arc::new(SessionManager::new(serve_cfg));
     let mut fleet: Vec<Vec<DeviceStream>> = (0..clients).map(|_| Vec::new()).collect();
     for s in 0..sessions {
-        let (mix, tracks) = make_mix(n, s);
-        let id = manager.open(FS, 2, scfg.clone()).expect("open session");
-        fleet[s % clients].push((id, mix, tracks));
+        let dev = if oximetry {
+            let (lambda1, lambda2, tracks) = make_oximetry_stream(stream_seconds as f64, s);
+            let id = manager
+                .open_oximetry(FS, 2, scfg.clone(), ocfg.clone())
+                .expect("open oximetry session");
+            DeviceStream { id, lambda1, lambda2: Some(lambda2), tracks }
+        } else {
+            let (lambda1, tracks) = make_mix(n, s);
+            let id = manager.open(FS, 2, scfg.clone()).expect("open session");
+            DeviceStream { id, lambda1, lambda2: None, tracks }
+        };
+        fleet[s % clients].push(dev);
     }
     assert!(manager.open_sessions() >= 64 || sessions < 64, "loadgen drives >= 64 sessions");
 
     let t0 = Instant::now();
-    let polled: u64 = std::thread::scope(|scope| {
+    let (polled, polled_windows) = std::thread::scope(|scope| {
         let handles: Vec<_> = fleet
             .iter()
             .map(|slice| {
@@ -111,7 +168,10 @@ fn main() {
                 scope.spawn(move || run_client(&manager, slice, packet))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("client thread")).sum()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .fold((0u64, 0u64), |(a, b), (x, y)| (a + x, b + y))
     });
     let manager = Arc::into_inner(manager).expect("all clients joined");
     let report = manager.shutdown().expect("graceful shutdown");
@@ -122,12 +182,21 @@ fn main() {
         .iter()
         .map(|(_, o)| o.blocks.iter().map(|b| b.len() as u64).sum::<u64>())
         .sum();
+    let closed_windows: u64 = report.sessions.iter().map(|(_, o)| o.spo2.len() as u64).sum();
     let telemetry = &report.telemetry;
     println!("\nper-shard telemetry:");
     print!("{telemetry}");
 
     let total_out = telemetry.samples_out();
-    assert_eq!(polled + closed, total_out, "every emitted sample is accounted for");
+    if oximetry {
+        assert_eq!(
+            polled_windows + closed_windows,
+            telemetry.spo2_updates(),
+            "every SpO2 window is accounted for"
+        );
+    } else {
+        assert_eq!(polled + closed, total_out, "every emitted sample is accounted for");
+    }
     let fmt_ms = |p: Option<f64>| p.map_or("-".into(), |v| format!("{:.3} ms", v * 1e3));
     println!("\naggregate over the load window ({:.2} s wall):", wall.as_secs_f64());
     println!(
@@ -137,6 +206,17 @@ fn main() {
         total_out as f64 / wall.as_secs_f64(),
         total_out as f64 / wall.as_secs_f64() / FS,
     );
+    if oximetry {
+        let stats = telemetry.spo2_stats();
+        println!(
+            "  spo2 trend: {} windows ({:.1}/sec); min {:.3} / mean {:.3} / max {:.3}",
+            stats.count(),
+            stats.count() as f64 / wall.as_secs_f64(),
+            stats.min().unwrap_or(f64::NAN),
+            stats.mean().unwrap_or(f64::NAN),
+            stats.max().unwrap_or(f64::NAN),
+        );
+    }
     println!(
         "  ingest latency (enqueue -> processed): p50 {} / p95 {} / p99 {}  ({} packets)",
         fmt_ms(telemetry.latency_percentile(50.0)),

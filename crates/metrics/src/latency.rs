@@ -18,6 +18,23 @@
 /// Exact extremes are tracked separately: percentile estimates are
 /// clamped to the observed range, so a single-sample histogram reports
 /// that sample exactly at every percentile.
+///
+/// ```
+/// use dhf_metrics::LatencyHistogram;
+///
+/// let mut shard = LatencyHistogram::for_serving();
+/// for packet in 0..100u32 {
+///     shard.record(0.8e-3 + 0.04e-3 * packet as f64); // 0.8 ms .. 4.8 ms
+/// }
+/// let (p50, p95) = (shard.percentile(50.0).unwrap(), shard.percentile(95.0).unwrap());
+/// assert!(p50 <= p95 && p95 <= shard.max().unwrap());
+///
+/// // Per-shard histograms merge into one fleet-wide view at snapshot
+/// // time (same layout, so merging is plain per-bucket addition).
+/// let mut fleet = LatencyHistogram::for_serving();
+/// fleet.merge(&shard);
+/// assert_eq!(fleet.count(), 100);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct LatencyHistogram {
     /// Lower edge of the first regular bucket.

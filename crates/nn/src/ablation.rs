@@ -18,7 +18,7 @@ use crate::config::NetConfig;
 pub enum PriorVariant {
     /// Conventional 3×3 convolutions.
     Conventional,
-    /// Harmonic convolution as configured by Zhang et al. [21]: anchors
+    /// Harmonic convolution as configured by Zhang et al. \[21\]: anchors
     /// larger than one (backward harmonic access) and max-pooling in
     /// frequency.
     HarmonicBaseline,

@@ -1,11 +1,17 @@
 //! Pulse-oximetry SpO2 estimation from dual-wavelength PPG (paper §4.3,
-//! Eqs. 10–11, following Vali et al. [18]).
+//! Eqs. 10–11, following Vali et al. \[18\]).
 //!
 //! The modulation ratio
 //! `R = (AC/DC)_λ1 / (AC/DC)_λ2`
 //! relates to arterial saturation through the inverse-linear calibration
 //! `1/(SaO2 + k) = w0 + w1·R` with `k = 1.885`; `w0, w1` are learned by
 //! least squares against blood-draw ground truth.
+//!
+//! The calibration primitives live at the crate root; [`pipeline`] builds
+//! the full workload on top of them — dual-wavelength mixture →
+//! per-wavelength DHF separation → windowed modulation ratios → an SpO2
+//! *trend*, offline ([`estimate_spo2_trend`]) or online with bounded
+//! latency ([`StreamingOximeter`]).
 //!
 //! # Example
 //!
@@ -25,6 +31,13 @@
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod pipeline;
+
+pub use pipeline::{
+    ema_detrend, estimate_spo2_trend, spo2_trend_from_components, OximetryConfig, OximetryError,
+    OximetryFlush, Spo2Sample, Spo2Trend, StreamingOximeter,
+};
 
 use dhf_dsp::filter::detrend;
 use dhf_dsp::stats::{linear_fit, mean, pearson, rms};

@@ -31,6 +31,13 @@
 //! * **Telemetry** — [`Telemetry`] snapshots per-shard throughput, queue
 //!   depth, and per-packet enqueue→processed latency percentiles backed by
 //!   [`dhf_metrics::LatencyHistogram`].
+//! * **Session kinds** — a session either serves raw separation
+//!   ([`SessionManager::open`]: one channel in, source blocks out) or the
+//!   paper's end task, transabdominal fetal oximetry
+//!   ([`SessionManager::open_oximetry`]: two sample-aligned wavelength
+//!   channels in via [`SessionManager::push_oximetry`], windowed SpO2
+//!   estimates out in [`SessionOutput::spo2`], fleet-wide trend
+//!   statistics in [`Spo2Stats`]).
 //!
 //! The runtime is std-only (`std::thread` + mutex/condvar) and
 //! deterministic per session: a session's output depends only on the
@@ -49,9 +56,10 @@ mod telemetry;
 
 pub use config::{BackpressurePolicy, ServeConfig};
 pub use manager::{SessionManager, ShutdownReport};
-pub use session::{CloseOutcome, PushReceipt, SessionId, SessionOutput};
-pub use telemetry::{ShardSnapshot, Telemetry};
+pub use session::{CloseOutcome, PushReceipt, SessionId, SessionKind, SessionOutput};
+pub use telemetry::{ShardSnapshot, Spo2Stats, Telemetry};
 
+use dhf_oximetry::OximetryError;
 use dhf_stream::StreamError;
 
 /// Errors from the serving runtime.
@@ -66,8 +74,21 @@ pub enum ServeError {
     },
     /// The session id was never opened or has been closed.
     UnknownSession(SessionId),
+    /// The request used the wrong API for the session's kind (e.g.
+    /// [`SessionManager::push`](crate::SessionManager::push) on an
+    /// oximetry session). Nothing was buffered.
+    KindMismatch {
+        /// The addressed session.
+        session: SessionId,
+        /// The session's actual kind.
+        kind: SessionKind,
+    },
     /// Synchronous open/push validation failed; nothing was buffered.
     Session(StreamError),
+    /// Oximetry-specific open/push validation failed (bad
+    /// [`dhf_oximetry::OximetryConfig`], or misaligned wavelength
+    /// channels); nothing was buffered.
+    Oximetry(OximetryError),
     /// The push would overflow the session's bounded ingestion queue
     /// under [`BackpressurePolicy::Busy`] (or the packet alone exceeds
     /// the capacity). Retry after draining via
@@ -105,7 +126,11 @@ impl std::fmt::Display for ServeError {
                 write!(f, "invalid serving parameter `{name}`: {message}")
             }
             ServeError::UnknownSession(id) => write!(f, "{id} is not open"),
+            ServeError::KindMismatch { session, kind } => {
+                write!(f, "{session} is a {kind} session; use the matching push API")
+            }
             ServeError::Session(e) => write!(f, "session rejected the request: {e}"),
+            ServeError::Oximetry(e) => write!(f, "oximetry session rejected the request: {e}"),
             ServeError::Busy { session, queued_samples, incoming, capacity } => write!(
                 f,
                 "{session} is busy: {queued_samples} samples queued, push of {incoming} \
@@ -123,6 +148,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Session(e) | ServeError::SessionFailed { error: e, .. } => Some(e),
+            ServeError::Oximetry(e) => Some(e),
             _ => None,
         }
     }

@@ -1,10 +1,13 @@
 //! The session manager: lifecycle API over the sharded worker pool.
 
 use crate::config::{BackpressurePolicy, ServeConfig};
-use crate::session::{CloseOutcome, PushReceipt, SessionId, SessionOutput, SessionShared};
-use crate::shard::{run_worker, Command, IngestItem, SessionQueue, ShardShared};
+use crate::session::{
+    CloseOutcome, PushReceipt, SessionId, SessionKind, SessionOutput, SessionShared,
+};
+use crate::shard::{run_worker, Command, Engine, IngestItem, SessionQueue, ShardShared};
 use crate::telemetry::{ShardCounters, Telemetry};
 use crate::ServeError;
+use dhf_oximetry::{OximetryConfig, OximetryError, StreamingOximeter};
 use dhf_stream::{StreamError, StreamingConfig, StreamingSeparator};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -18,6 +21,39 @@ fn shard_of(id: u64, shards: usize) -> usize {
     ((id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % shards as u64) as usize
 }
 
+/// Synchronous per-push track validation shared by both push APIs: the
+/// track count must match the session and every track the packet length.
+fn validate_tracks(
+    samples: usize,
+    n_sources: usize,
+    f0_tracks: &[&[f64]],
+) -> Result<(), ServeError> {
+    if f0_tracks.len() != n_sources {
+        return Err(ServeError::Session(StreamError::SourceCountMismatch {
+            expected: n_sources,
+            got: f0_tracks.len(),
+        }));
+    }
+    for t in f0_tracks {
+        if t.len() != samples {
+            return Err(ServeError::Session(StreamError::TrackLengthMismatch {
+                signal: samples,
+                track: t.len(),
+            }));
+        }
+    }
+    Ok(())
+}
+
+/// Finds the first non-positive or non-finite f0 value, as
+/// `(track, offset)` within the packet.
+fn scan_tracks(f0_tracks: &[&[f64]]) -> Option<(usize, usize)> {
+    f0_tracks
+        .iter()
+        .enumerate()
+        .find_map(|(ti, t)| t.iter().position(|&f| !f.is_finite() || f <= 0.0).map(|i| (ti, i)))
+}
+
 struct ShardHandle {
     shared: Arc<ShardShared>,
     counters: Arc<ShardCounters>,
@@ -27,6 +63,7 @@ struct ShardHandle {
 struct SessionEntry {
     shard: usize,
     n_sources: usize,
+    kind: SessionKind,
     shared: Arc<SessionShared>,
 }
 
@@ -41,7 +78,7 @@ struct SessionEntry {
 /// expected from one client at a time (packets from concurrent `push`es
 /// to the *same* session are serialized in an unspecified order).
 ///
-/// ```no_run
+/// ```
 /// use dhf_core::DhfConfig;
 /// use dhf_serve::{ServeConfig, SessionManager};
 /// use dhf_stream::StreamingConfig;
@@ -118,6 +155,40 @@ impl SessionManager {
     ) -> Result<SessionId, ServeError> {
         let sep =
             Box::new(StreamingSeparator::new(fs, n_sources, scfg).map_err(ServeError::Session)?);
+        Ok(self.register(Engine::Separation(sep), n_sources))
+    }
+
+    /// Opens a fetal-oximetry session ([`SessionKind::Oximetry`]): two
+    /// sample-aligned wavelength channels are ingested with
+    /// [`push_oximetry`](Self::push_oximetry), and windowed SpO2 estimates
+    /// come back in [`SessionOutput::spo2`] — the serving runtime runs the
+    /// paper's end task (§4.3), not just raw separation.
+    ///
+    /// The session drives a [`StreamingOximeter`] (two per-wavelength
+    /// [`StreamingSeparator`]s plus trend extraction) on its shard's
+    /// worker; `ocfg.fetal_source` names the fetal track among the
+    /// `n_sources` supplied per push.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Oximetry`] if the parameters are invalid.
+    pub fn open_oximetry(
+        &self,
+        fs: f64,
+        n_sources: usize,
+        scfg: StreamingConfig,
+        ocfg: OximetryConfig,
+    ) -> Result<SessionId, ServeError> {
+        let ox = Box::new(
+            StreamingOximeter::new(fs, n_sources, scfg, ocfg).map_err(ServeError::Oximetry)?,
+        );
+        Ok(self.register(Engine::Oximetry(ox), n_sources))
+    }
+
+    /// Assigns a freshly built engine to a shard and registers the
+    /// session.
+    fn register(&self, engine: Engine, n_sources: usize) -> SessionId {
+        let kind = engine.kind();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let shard = shard_of(id, self.shards.len());
         let shared = Arc::new(SessionShared::default());
@@ -125,12 +196,12 @@ impl SessionManager {
         {
             let mut st = self.shards[shard].shared.state.lock().unwrap();
             st.queues.insert(id, SessionQueue::default());
-            st.commands.push_back(Command::Open { id, sep, shared: Arc::clone(&shared) });
+            st.commands.push_back(Command::Open { id, engine, shared: Arc::clone(&shared) });
         }
         self.shards[shard].shared.cv.notify_one();
 
-        self.sessions.lock().unwrap().insert(id, SessionEntry { shard, n_sources, shared });
-        Ok(SessionId(id))
+        self.sessions.lock().unwrap().insert(id, SessionEntry { shard, n_sources, kind, shared });
+        SessionId(id)
     }
 
     /// Enqueues a packet of samples (with each source's matching f0
@@ -155,48 +226,111 @@ impl SessionManager {
         samples: &[f64],
         f0_tracks: &[&[f64]],
     ) -> Result<PushReceipt, ServeError> {
-        let (shard, n_sources, shared) = {
-            let sessions = self.sessions.lock().unwrap();
-            let e = sessions.get(&id.0).ok_or(ServeError::UnknownSession(id))?;
-            (e.shard, e.n_sources, Arc::clone(&e.shared))
-        };
+        let (shard, n_sources, shared) = self.admit(id, SessionKind::Separation)?;
         if let Some(err) = shared.mailbox.lock().unwrap().error.clone() {
             return Err(ServeError::SessionFailed { session: id, error: err });
         }
-        if f0_tracks.len() != n_sources {
-            return Err(ServeError::Session(StreamError::SourceCountMismatch {
-                expected: n_sources,
-                got: f0_tracks.len(),
-            }));
-        }
-        for t in f0_tracks {
-            if t.len() != samples.len() {
-                return Err(ServeError::Session(StreamError::TrackLengthMismatch {
-                    signal: samples.len(),
-                    track: t.len(),
-                }));
-            }
-        }
+        validate_tracks(samples.len(), n_sources, f0_tracks)?;
 
         // The O(samples) work — value scanning and packet copies — runs
         // *before* the shard lock, so the critical section is a few
         // pointer moves and never serializes other clients (or the
         // worker's batch drain) behind a memcpy.
-        let bad_value: Option<(usize, usize)> = f0_tracks.iter().enumerate().find_map(|(ti, t)| {
-            t.iter().position(|&f| !f.is_finite() || f <= 0.0).map(|i| (ti, i))
-        });
+        let bad_value = scan_tracks(f0_tracks);
         let capacity = self.cfg.queue_capacity();
         let incoming = samples.len();
         let item = if bad_value.is_none() && incoming > 0 && incoming <= capacity {
             Some(IngestItem {
                 samples: samples.to_vec(),
+                samples2: None,
                 tracks: f0_tracks.iter().map(|t| t.to_vec()).collect(),
                 enqueued_at: Instant::now(),
             })
         } else {
             None
         };
+        self.enqueue(shard, id, bad_value, item, incoming)
+    }
 
+    /// Enqueues one sample-aligned dual-wavelength packet (λ1, λ2, and
+    /// the shared f0 tracks) for asynchronous oximetry.
+    ///
+    /// Semantics mirror [`push`](Self::push): validation is synchronous
+    /// and buffers nothing on rejection, admission is governed by the
+    /// configured [`BackpressurePolicy`], and the SpO2 windows appear in
+    /// [`poll`](Self::poll)'s [`SessionOutput::spo2`]. Queue accounting is
+    /// per *stream* sample — a packet of `n` samples per channel occupies
+    /// `n` units of queue capacity, since the channels advance the stream
+    /// position together.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`push`](Self::push) returns, plus
+    /// [`ServeError::KindMismatch`] when the session is not an oximetry
+    /// session and [`ServeError::Oximetry`] when the channels' lengths
+    /// differ.
+    pub fn push_oximetry(
+        &self,
+        id: SessionId,
+        lambda1: &[f64],
+        lambda2: &[f64],
+        f0_tracks: &[&[f64]],
+    ) -> Result<PushReceipt, ServeError> {
+        let (shard, n_sources, shared) = self.admit(id, SessionKind::Oximetry)?;
+        if let Some(err) = shared.mailbox.lock().unwrap().error.clone() {
+            return Err(ServeError::SessionFailed { session: id, error: err });
+        }
+        if lambda1.len() != lambda2.len() {
+            return Err(ServeError::Oximetry(OximetryError::ChannelLengthMismatch {
+                lambda1: lambda1.len(),
+                lambda2: lambda2.len(),
+            }));
+        }
+        validate_tracks(lambda1.len(), n_sources, f0_tracks)?;
+
+        let bad_value = scan_tracks(f0_tracks);
+        let capacity = self.cfg.queue_capacity();
+        let incoming = lambda1.len();
+        let item = if bad_value.is_none() && incoming > 0 && incoming <= capacity {
+            Some(IngestItem {
+                samples: lambda1.to_vec(),
+                samples2: Some(lambda2.to_vec()),
+                tracks: f0_tracks.iter().map(|t| t.to_vec()).collect(),
+                enqueued_at: Instant::now(),
+            })
+        } else {
+            None
+        };
+        self.enqueue(shard, id, bad_value, item, incoming)
+    }
+
+    /// Looks a session up and checks the request used the API matching
+    /// its kind.
+    fn admit(
+        &self,
+        id: SessionId,
+        expected: SessionKind,
+    ) -> Result<(usize, usize, Arc<SessionShared>), ServeError> {
+        let sessions = self.sessions.lock().unwrap();
+        let e = sessions.get(&id.0).ok_or(ServeError::UnknownSession(id))?;
+        if e.kind != expected {
+            return Err(ServeError::KindMismatch { session: id, kind: e.kind });
+        }
+        Ok((e.shard, e.n_sources, Arc::clone(&e.shared)))
+    }
+
+    /// The admission path shared by both push APIs: locates the queue,
+    /// reports bad track values by absolute accepted-stream position,
+    /// applies the backpressure policy, and enqueues the packet.
+    fn enqueue(
+        &self,
+        shard: usize,
+        id: SessionId,
+        bad_value: Option<(usize, usize)>,
+        item: Option<IngestItem>,
+        incoming: usize,
+    ) -> Result<PushReceipt, ServeError> {
+        let capacity = self.cfg.queue_capacity();
         let handle = &self.shards[shard];
         let mut st = handle.shared.state.lock().unwrap();
         let q = st.queues.get_mut(&id.0).ok_or(ServeError::UnknownSession(id))?;
@@ -258,9 +392,10 @@ impl SessionManager {
         Ok(PushReceipt { queued_samples, dropped_samples: dropped })
     }
 
-    /// Drains the session's completed output blocks (and surfaces its
-    /// sticky failure, if any — the error stays set until the session is
-    /// closed).
+    /// Drains the session's completed output — separated blocks for
+    /// [`SessionKind::Separation`], SpO2 windows for
+    /// [`SessionKind::Oximetry`] — and surfaces its sticky failure, if
+    /// any (the error stays set until the session is closed).
     ///
     /// # Errors
     ///
@@ -274,6 +409,7 @@ impl SessionManager {
         let mut mailbox = shared.mailbox.lock().unwrap();
         Ok(SessionOutput {
             blocks: std::mem::take(&mut mailbox.blocks),
+            spo2: std::mem::take(&mut mailbox.spo2),
             error: mailbox.error.clone(),
         })
     }
@@ -710,6 +846,117 @@ mod tests {
         let p50 = telemetry.latency_percentile(50.0).unwrap();
         let p99 = telemetry.latency_percentile(99.0).unwrap();
         assert!(p50 <= p99);
+    }
+
+    /// Shared oximetry fixture: a short desaturation recording plus the
+    /// session configs driving it.
+    fn oximetry_fixture() -> (dhf_synth::invivo::TfoRecording, StreamingConfig, OximetryConfig) {
+        use dhf_synth::dualwave::{generate, DualWaveConfig, Spo2Scenario};
+        let rec = generate(
+            &DualWaveConfig::new(Spo2Scenario::Constant { spo2: 0.5 }, 80.0).with_seed(11),
+        );
+        let scfg = stream_cfg(3000, 600);
+        let cal = dhf_oximetry::Calibration {
+            w0: dhf_synth::invivo::CALIBRATION_W0,
+            w1: dhf_synth::invivo::CALIBRATION_W1,
+            k: dhf_synth::invivo::CALIBRATION_K,
+        };
+        let ocfg = OximetryConfig::new(1, 2000, 1000, cal).unwrap();
+        (rec, scfg, ocfg)
+    }
+
+    #[test]
+    fn oximetry_session_matches_a_serial_oximeter() {
+        let (rec, scfg, ocfg) = oximetry_fixture();
+        let fs = rec.config.fs;
+        let n = rec.mixed[0].len();
+
+        // Serial reference.
+        let mut serial = StreamingOximeter::new(fs, 2, scfg.clone(), ocfg.clone()).unwrap();
+        let mut want = Vec::new();
+        for lo in (0..n).step_by(500) {
+            let hi = (lo + 500).min(n);
+            let t: [&[f64]; 2] = [&rec.f0.maternal[lo..hi], &rec.f0.fetal[lo..hi]];
+            want.extend(serial.push([&rec.mixed[0][lo..hi], &rec.mixed[1][lo..hi]], &t).unwrap());
+        }
+        want.extend(serial.flush().unwrap().samples);
+        assert!(!want.is_empty(), "fixture must emit SpO2 windows");
+
+        // Served.
+        let manager = SessionManager::new(ServeConfig::new(2).unwrap());
+        let id = manager.open_oximetry(fs, 2, scfg, ocfg).unwrap();
+        let mut got = Vec::new();
+        for lo in (0..n).step_by(500) {
+            let hi = (lo + 500).min(n);
+            let t: [&[f64]; 2] = [&rec.f0.maternal[lo..hi], &rec.f0.fetal[lo..hi]];
+            manager.push_oximetry(id, &rec.mixed[0][lo..hi], &rec.mixed[1][lo..hi], &t).unwrap();
+            let out = manager.poll(id).unwrap();
+            assert!(out.error.is_none());
+            assert!(out.blocks.is_empty(), "oximetry sessions emit SpO2, not blocks");
+            got.extend(out.spo2);
+        }
+        let fin = manager.close(id).unwrap();
+        assert!(fin.error.is_none());
+        assert_eq!(fin.dropped_samples, 0);
+        got.extend(fin.spo2);
+        assert_eq!(got, want, "served SpO2 trend must be bit-identical to the serial run");
+
+        // The books close: per-channel stream samples in = out, and the
+        // trend stats saw every window.
+        let telemetry = manager.telemetry();
+        assert_eq!(telemetry.samples_in(), n as u64);
+        assert_eq!(telemetry.samples_out(), n as u64);
+        assert_eq!(telemetry.spo2_updates(), want.len() as u64);
+        let stats = telemetry.spo2_stats();
+        assert_eq!(stats.count(), want.len() as u64);
+        let (min, max) = want.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), s| {
+            (lo.min(s.spo2), hi.max(s.spo2))
+        });
+        assert_eq!(stats.min(), Some(min));
+        assert_eq!(stats.max(), Some(max));
+        assert!(stats.mean().unwrap() >= min && stats.mean().unwrap() <= max);
+    }
+
+    #[test]
+    fn push_apis_enforce_session_kind() {
+        let fs = 100.0;
+        let manager = SessionManager::new(ServeConfig::new(1).unwrap());
+        let sep_id = manager.open(fs, 2, stream_cfg(3000, 600)).unwrap();
+        let ocfg =
+            OximetryConfig::new(1, 2000, 1000, dhf_oximetry::Calibration::default()).unwrap();
+        let ox_id = manager.open_oximetry(fs, 2, stream_cfg(3000, 600), ocfg).unwrap();
+
+        let samples = vec![0.0f64; 100];
+        let track = vec![1.3f64; 100];
+        let t: [&[f64]; 2] = [&track, &track];
+        // Wrong API for each kind.
+        assert!(matches!(
+            manager.push_oximetry(sep_id, &samples, &samples, &t),
+            Err(ServeError::KindMismatch { kind: SessionKind::Separation, .. })
+        ));
+        assert!(matches!(
+            manager.push(ox_id, &samples, &t),
+            Err(ServeError::KindMismatch { kind: SessionKind::Oximetry, .. })
+        ));
+        // Channel misalignment is rejected synchronously.
+        let short = vec![0.0f64; 99];
+        assert!(matches!(
+            manager.push_oximetry(ox_id, &samples, &short, &t),
+            Err(ServeError::Oximetry(dhf_oximetry::OximetryError::ChannelLengthMismatch {
+                lambda1: 100,
+                lambda2: 99,
+            }))
+        ));
+        // Track validation mirrors the separation push API.
+        let mut bad = vec![1.3f64; 100];
+        bad[7] = f64::NAN;
+        assert!(matches!(
+            manager.push_oximetry(ox_id, &samples, &samples, &[&track, &bad]),
+            Err(ServeError::Session(StreamError::NonPositiveTrackValue { track: 1, sample: 7 }))
+        ));
+        // The matching APIs work.
+        assert!(manager.push(sep_id, &samples, &t).is_ok());
+        assert!(manager.push_oximetry(ox_id, &samples, &samples, &t).is_ok());
     }
 
     #[test]

@@ -1,7 +1,34 @@
 //! Session identity, results, and the manager↔worker output mailbox.
 
+use dhf_oximetry::Spo2Sample;
 use dhf_stream::{StreamBlock, StreamError};
 use std::sync::Mutex;
+
+/// What a session computes: raw source separation, or the full oximetry
+/// pipeline on top of it.
+///
+/// The kind is fixed at open time
+/// ([`SessionManager::open`](crate::SessionManager::open) vs
+/// [`open_oximetry`](crate::SessionManager::open_oximetry)) and selects
+/// the matching push API; using the wrong one fails with
+/// [`ServeError::KindMismatch`](crate::ServeError::KindMismatch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionKind {
+    /// One mixed channel in, per-source separated blocks out.
+    Separation,
+    /// Two sample-aligned wavelength channels in, windowed SpO2 samples
+    /// out (paper §4.3 — the fetal-oximetry end task).
+    Oximetry,
+}
+
+impl std::fmt::Display for SessionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionKind::Separation => write!(f, "separation"),
+            SessionKind::Oximetry => write!(f, "oximetry"),
+        }
+    }
+}
 
 /// Opaque handle of one open streaming session.
 ///
@@ -34,8 +61,11 @@ pub struct PushReceipt {
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SessionOutput {
     /// Separated blocks emitted since the previous poll, contiguous and in
-    /// stream order.
+    /// stream order (always empty for oximetry sessions).
     pub blocks: Vec<StreamBlock>,
+    /// Windowed SpO2 estimates emitted since the previous poll, in stream
+    /// order (always empty for separation sessions).
+    pub spo2: Vec<Spo2Sample>,
     /// Sticky failure: a chunk separation failed on the worker. The
     /// session stays addressable (so this can be observed and the session
     /// closed), but further pushes are rejected.
@@ -45,8 +75,12 @@ pub struct SessionOutput {
 /// Result of closing a session: everything the stream still owed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CloseOutcome {
-    /// Blocks not yet polled, including the final flushed remainder.
+    /// Blocks not yet polled, including the final flushed remainder
+    /// (separation sessions only).
     pub blocks: Vec<StreamBlock>,
+    /// SpO2 windows not yet polled, including those the final flush
+    /// completed (oximetry sessions only).
+    pub spo2: Vec<Spo2Sample>,
     /// Trailing samples the final flush could not cover (too short for one
     /// analysis window), plus any queued samples skipped because the
     /// session had already failed.
@@ -79,5 +113,6 @@ pub(crate) struct SessionShared {
 #[derive(Debug, Default)]
 pub(crate) struct Mailbox {
     pub(crate) blocks: Vec<StreamBlock>,
+    pub(crate) spo2: Vec<Spo2Sample>,
     pub(crate) error: Option<StreamError>,
 }

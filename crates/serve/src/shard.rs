@@ -13,27 +13,63 @@
 //! enqueue concurrently while the worker separates; consecutive packets
 //! of one session run against hot per-session buffers.
 
-use crate::session::SessionShared;
+use crate::session::{SessionKind, SessionShared};
 use crate::telemetry::ShardCounters;
 use crate::CloseOutcome;
-use dhf_stream::StreamingSeparator;
+use dhf_oximetry::{OximetryError, Spo2Sample, StreamingOximeter};
+use dhf_stream::{StreamError, StreamingSeparator};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-/// One queued ingest packet.
+/// One queued ingest packet. For oximetry sessions `samples` carries λ1
+/// and `samples2` the sample-aligned λ2 channel; separation packets leave
+/// `samples2` empty.
 #[derive(Debug)]
 pub(crate) struct IngestItem {
     pub(crate) samples: Vec<f64>,
+    pub(crate) samples2: Option<Vec<f64>>,
     pub(crate) tracks: Vec<Vec<f64>>,
     pub(crate) enqueued_at: Instant,
 }
 
 impl IngestItem {
+    /// Logical stream samples in the packet (per channel — an oximetry
+    /// packet's two channels advance the stream position together).
     fn len(&self) -> usize {
         self.samples.len()
+    }
+}
+
+/// The per-session engine a worker drives: a bare streaming separator, or
+/// the dual-wavelength oximeter built from two of them.
+#[derive(Debug)]
+pub(crate) enum Engine {
+    /// Raw separation: one channel in, source blocks out.
+    Separation(Box<StreamingSeparator>),
+    /// Fetal oximetry: two channels in, SpO2 windows out.
+    Oximetry(Box<StreamingOximeter>),
+}
+
+impl Engine {
+    pub(crate) fn kind(&self) -> SessionKind {
+        match self {
+            Engine::Separation(_) => SessionKind::Separation,
+            Engine::Oximetry(_) => SessionKind::Oximetry,
+        }
+    }
+}
+
+/// Lowers a worker-side oximetry failure to the mailbox's sticky
+/// [`StreamError`]. Runtime failures are always separator errors
+/// (`OximetryError::Stream`); the catch-all covers validation variants
+/// that cannot occur past the manager's synchronous checks.
+fn oximetry_stream_error(e: OximetryError) -> StreamError {
+    match e {
+        OximetryError::Stream(se) => se,
+        other => StreamError::InvalidConfig { name: "oximetry", message: other.to_string() },
     }
 }
 
@@ -53,12 +89,12 @@ pub(crate) struct SessionQueue {
 /// it flows through [`SessionQueue`]s — so the command queue stays short
 /// and a slow separation never delays another session's enqueue.
 pub(crate) enum Command {
-    /// Register a freshly opened session. The separator was built (and
+    /// Register a freshly opened session. The engine was built (and
     /// validated) on the caller's thread and migrates here — the reason
-    /// `StreamingSeparator` carries a compile-time `Send` assertion.
-    /// Boxed so the command enum stays small (a separator is ~1 kB of
-    /// inline buffers).
-    Open { id: u64, sep: Box<StreamingSeparator>, shared: Arc<SessionShared> },
+    /// `StreamingSeparator` (and the oximeter wrapping two of them)
+    /// carries a compile-time `Send` assertion. The engine's separators
+    /// are boxed so the command enum stays small.
+    Open { id: u64, engine: Engine, shared: Arc<SessionShared> },
     /// Close a session: run `leftovers` (the queue's remaining packets,
     /// removed by the manager in the same critical section that removed
     /// the queue), flush, and hand everything still unpolled back through
@@ -84,7 +120,7 @@ pub(crate) struct ShardState {
 
 /// A session as the worker sees it.
 struct WorkerSession {
-    sep: Box<StreamingSeparator>,
+    engine: Engine,
     shared: Arc<SessionShared>,
     /// Set once a chunk separation fails; later packets are skipped (and
     /// counted as dropped) instead of grinding a broken stream.
@@ -137,9 +173,9 @@ pub(crate) fn run_worker(shared: Arc<ShardShared>, counters: Arc<ShardCounters>)
         // per-session ordering is preserved without cross-checks.
         for cmd in commands {
             match cmd {
-                Command::Open { id, sep, shared } => {
+                Command::Open { id, engine, shared } => {
                     let ws = WorkerSession {
-                        sep,
+                        engine,
                         shared,
                         failed: false,
                         accepted: 0,
@@ -154,9 +190,12 @@ pub(crate) fn run_worker(shared: Arc<ShardShared>, counters: Arc<ShardCounters>)
                         // Unreachable through the manager API (the entry
                         // existed until this command), but don't wedge the
                         // caller if it ever happens.
-                        None => {
-                            CloseOutcome { blocks: Vec::new(), dropped_samples: 0, error: None }
-                        }
+                        None => CloseOutcome {
+                            blocks: Vec::new(),
+                            spo2: Vec::new(),
+                            dropped_samples: 0,
+                            error: None,
+                        },
                     };
                     // A vanished caller is not the worker's problem.
                     let _ = ack.send(outcome);
@@ -183,10 +222,10 @@ pub(crate) fn run_worker(shared: Arc<ShardShared>, counters: Arc<ShardCounters>)
 }
 
 /// Runs one ingest packet through its session's engine, delivers any
-/// completed blocks to the mailbox, and records telemetry. A packet
-/// arriving after the session failed is skipped (tallied in
-/// `WorkerSession::skipped` for the close-time books and in the shard's
-/// dropped counter immediately).
+/// completed blocks (or SpO2 windows) to the mailbox, and records
+/// telemetry. A packet arriving after the session failed is skipped
+/// (tallied in `WorkerSession::skipped` for the close-time books and in
+/// the shard's dropped counter immediately).
 fn process_item(ws: &mut WorkerSession, item: IngestItem, counters: &ShardCounters) {
     if ws.failed {
         ws.skipped += item.len();
@@ -198,23 +237,63 @@ fn process_item(ws: &mut WorkerSession, item: IngestItem, counters: &ShardCounte
     // separation failure — which happens *after* the engine buffered the
     // samples. Either way the engine accepted them.
     ws.accepted += item.len();
-    match ws.sep.push(&item.samples, &track_refs) {
-        Ok(blocks) => {
-            if !blocks.is_empty() {
-                let emitted: usize = blocks.iter().map(|b| b.len()).sum();
-                ws.emitted += emitted;
-                counters.samples_out.fetch_add(emitted as u64, Ordering::Relaxed);
-                counters.blocks_emitted.fetch_add(blocks.len() as u64, Ordering::Relaxed);
-                ws.shared.mailbox.lock().unwrap().blocks.extend(blocks);
+    match &mut ws.engine {
+        Engine::Separation(sep) => match sep.push(&item.samples, &track_refs) {
+            Ok(blocks) => {
+                if !blocks.is_empty() {
+                    let emitted: usize = blocks.iter().map(|b| b.len()).sum();
+                    ws.emitted += emitted;
+                    counters.samples_out.fetch_add(emitted as u64, Ordering::Relaxed);
+                    counters.blocks_emitted.fetch_add(blocks.len() as u64, Ordering::Relaxed);
+                    ws.shared.mailbox.lock().unwrap().blocks.extend(blocks);
+                }
             }
-        }
-        Err(e) => {
-            ws.failed = true;
-            ws.shared.mailbox.lock().unwrap().error = Some(e);
+            Err(e) => {
+                ws.failed = true;
+                ws.shared.mailbox.lock().unwrap().error = Some(e);
+            }
+        },
+        Engine::Oximetry(ox) => {
+            let lambda2 = item.samples2.as_deref().expect("oximetry packet carries two channels");
+            match ox.push([&item.samples, lambda2], &track_refs) {
+                Ok(updates) => {
+                    // "Emitted" for an oximetry session is the separated
+                    // front both wavelengths have reached — SpO2 windows
+                    // can only close behind it, and the close-time books
+                    // (accepted − emitted = dropped) stay meaningful.
+                    let separated = ox.samples_separated();
+                    let delta = separated.saturating_sub(ws.emitted);
+                    if delta > 0 {
+                        ws.emitted = separated;
+                        counters.samples_out.fetch_add(delta as u64, Ordering::Relaxed);
+                    }
+                    deliver_spo2(ws, updates, counters);
+                }
+                Err(e) => {
+                    ws.failed = true;
+                    ws.shared.mailbox.lock().unwrap().error = Some(oximetry_stream_error(e));
+                }
+            }
         }
     }
     counters.packets_processed.fetch_add(1, Ordering::Relaxed);
     counters.latency.lock().unwrap().record(item.enqueued_at.elapsed().as_secs_f64());
+}
+
+/// Hands completed SpO2 windows to the mailbox and books their trend
+/// statistics.
+fn deliver_spo2(ws: &mut WorkerSession, updates: Vec<Spo2Sample>, counters: &ShardCounters) {
+    if updates.is_empty() {
+        return;
+    }
+    counters.spo2_updates.fetch_add(updates.len() as u64, Ordering::Relaxed);
+    {
+        let mut stats = counters.spo2.lock().unwrap();
+        for s in &updates {
+            stats.record(s.spo2);
+        }
+    }
+    ws.shared.mailbox.lock().unwrap().spo2.extend(updates);
 }
 
 /// Drains a closing session: leftovers, flush, mailbox.
@@ -227,23 +306,52 @@ fn close_session(
         process_item(ws, item, counters);
     }
     let mut flush_block = None;
+    let mut flush_spo2 = Vec::new();
+    // For a healthy oximetry flush the engine reports its uncoverable
+    // tail directly (its post-flush progress marker is not usable for the
+    // books — see `StreamingOximeter::flush` on gap handling).
+    let mut oximetry_flush_dropped = None;
     if !ws.failed {
-        match ws.sep.flush() {
-            Ok(fin) => flush_block = fin.block,
-            Err(e) => {
-                ws.failed = true;
-                ws.shared.mailbox.lock().unwrap().error = Some(e);
-            }
+        match &mut ws.engine {
+            Engine::Separation(sep) => match sep.flush() {
+                Ok(fin) => flush_block = fin.block,
+                Err(e) => {
+                    ws.failed = true;
+                    ws.shared.mailbox.lock().unwrap().error = Some(e);
+                }
+            },
+            Engine::Oximetry(ox) => match ox.flush() {
+                Ok(fin) => {
+                    flush_spo2 = fin.samples;
+                    oximetry_flush_dropped = Some(fin.dropped_samples);
+                }
+                Err(e) => {
+                    ws.failed = true;
+                    ws.shared.mailbox.lock().unwrap().error = Some(oximetry_stream_error(e));
+                }
+            },
         }
     }
-    let mut mailbox = ws.shared.mailbox.lock().unwrap();
-    let mut blocks = std::mem::take(&mut mailbox.blocks);
-    let error = mailbox.error.take();
-    drop(mailbox);
-    if let Some(b) = flush_block {
+    if let Some(b) = &flush_block {
         ws.emitted += b.len();
         counters.samples_out.fetch_add(b.len() as u64, Ordering::Relaxed);
         counters.blocks_emitted.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(dropped) = oximetry_flush_dropped {
+        // The flush separated everything the engines accepted except the
+        // too-short tail; account the remainder as emitted.
+        let final_emitted = ws.accepted.saturating_sub(dropped);
+        let delta = final_emitted.saturating_sub(ws.emitted);
+        ws.emitted = final_emitted;
+        counters.samples_out.fetch_add(delta as u64, Ordering::Relaxed);
+    }
+    deliver_spo2(ws, flush_spo2, counters);
+    let mut mailbox = ws.shared.mailbox.lock().unwrap();
+    let mut blocks = std::mem::take(&mut mailbox.blocks);
+    let spo2 = std::mem::take(&mut mailbox.spo2);
+    let error = mailbox.error.take();
+    drop(mailbox);
+    if let Some(b) = flush_block {
         blocks.push(b);
     }
     // Close the books: whatever the engine accepted but never emitted is
@@ -254,5 +362,5 @@ fn close_session(
     // close-time alike).
     let unflushed = ws.accepted.saturating_sub(ws.emitted);
     counters.dropped_samples.fetch_add(unflushed as u64, Ordering::Relaxed);
-    CloseOutcome { blocks, dropped_samples: ws.skipped + unflushed, error }
+    CloseOutcome { blocks, spo2, dropped_samples: ws.skipped + unflushed, error }
 }

@@ -18,7 +18,9 @@ pub(crate) struct ShardCounters {
     pub(crate) batches_run: AtomicU64,
     pub(crate) busy_rejections: AtomicU64,
     pub(crate) dropped_samples: AtomicU64,
+    pub(crate) spo2_updates: AtomicU64,
     pub(crate) latency: Mutex<LatencyHistogram>,
+    pub(crate) spo2: Mutex<Spo2Stats>,
 }
 
 impl ShardCounters {
@@ -42,8 +44,93 @@ impl ShardCounters {
             batches_run: self.batches_run.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             dropped_samples: self.dropped_samples.load(Ordering::Relaxed),
+            spo2_updates: self.spo2_updates.load(Ordering::Relaxed),
             samples_per_sec: if secs > 0.0 { samples_out as f64 / secs } else { 0.0 },
             latency: self.latency.lock().unwrap().clone(),
+            spo2: self.spo2.lock().unwrap().clone(),
+        }
+    }
+}
+
+/// Aggregate statistics over every SpO2 window a shard's oximetry
+/// sessions emitted — the fleet-level trend view (count, range, mean)
+/// without shipping every sample through telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spo2Stats {
+    count: u64,
+    sum: f64,
+    /// Exact observed extremes (NaN until the first record).
+    min_seen: f64,
+    max_seen: f64,
+}
+
+impl Default for Spo2Stats {
+    fn default() -> Self {
+        Spo2Stats { count: 0, sum: 0.0, min_seen: f64::NAN, max_seen: f64::NAN }
+    }
+}
+
+impl Spo2Stats {
+    /// Adds one SpO2 window value. Non-finite values are ignored.
+    pub(crate) fn record(&mut self, spo2: f64) {
+        if !spo2.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += spo2;
+        if self.min_seen.is_nan() || spo2 < self.min_seen {
+            self.min_seen = spo2;
+        }
+        if self.max_seen.is_nan() || spo2 > self.max_seen {
+            self.max_seen = spo2;
+        }
+    }
+
+    /// Folds another shard's statistics into this one.
+    pub(crate) fn merge(&mut self, other: &Spo2Stats) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if self.min_seen.is_nan() || other.min_seen < self.min_seen {
+            self.min_seen = other.min_seen;
+        }
+        if self.max_seen.is_nan() || other.max_seen > self.max_seen {
+            self.max_seen = other.max_seen;
+        }
+    }
+
+    /// SpO2 windows recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded SpO2 (the fleet's deepest observed
+    /// desaturation), or `None` before the first window.
+    pub fn min(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min_seen)
+        }
+    }
+
+    /// Largest recorded SpO2, or `None` before the first window.
+    pub fn max(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max_seen)
+        }
+    }
+
+    /// Mean recorded SpO2, or `None` before the first window.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
         }
     }
 }
@@ -73,6 +160,8 @@ pub struct ShardSnapshot {
     pub busy_rejections: u64,
     /// Samples evicted by `DropOldest` or skipped after a session failure.
     pub dropped_samples: u64,
+    /// SpO2 windows emitted by this shard's oximetry sessions.
+    pub spo2_updates: u64,
     /// `samples_out` over the manager's lifetime — the shard's sustained
     /// separation throughput.
     pub samples_per_sec: f64,
@@ -83,6 +172,9 @@ pub struct ShardSnapshot {
     /// record their queue+ingest time; the per-*sample* output latency is
     /// additionally bounded by the streaming config's one-chunk latency.
     pub latency: LatencyHistogram,
+    /// Aggregate SpO2 trend statistics over this shard's oximetry
+    /// sessions (empty if the shard serves none).
+    pub spo2: Spo2Stats,
 }
 
 /// Snapshot of the whole runtime, taken by
@@ -114,6 +206,20 @@ impl Telemetry {
     /// Total pushes rejected with `Busy` across shards.
     pub fn busy_rejections(&self) -> u64 {
         self.shards.iter().map(|s| s.busy_rejections).sum()
+    }
+
+    /// Total SpO2 windows emitted across shards.
+    pub fn spo2_updates(&self) -> u64 {
+        self.shards.iter().map(|s| s.spo2_updates).sum()
+    }
+
+    /// All shards' SpO2 trend statistics merged into one fleet-wide view.
+    pub fn spo2_stats(&self) -> Spo2Stats {
+        let mut merged = Spo2Stats::default();
+        for s in &self.shards {
+            merged.merge(&s.spo2);
+        }
+        merged
     }
 
     /// Aggregate separation throughput in samples per second.
@@ -175,6 +281,18 @@ impl std::fmt::Display for Telemetry {
             fmt_ms(self.latency_percentile(50.0)),
             fmt_ms(self.latency_percentile(95.0)),
             fmt_ms(self.latency_percentile(99.0)),
-        )
+        )?;
+        let spo2 = self.spo2_stats();
+        if let (Some(min), Some(mean), Some(max)) = (spo2.min(), spo2.mean(), spo2.max()) {
+            writeln!(
+                f,
+                "spo2:  {} windows; min {:.3} / mean {:.3} / max {:.3}",
+                spo2.count(),
+                min,
+                mean,
+                max,
+            )?;
+        }
+        Ok(())
     }
 }

@@ -22,7 +22,7 @@
 //!
 //! # Example
 //!
-//! ```no_run
+//! ```
 //! use dhf_core::DhfConfig;
 //! use dhf_stream::{StreamingConfig, StreamingSeparator};
 //!

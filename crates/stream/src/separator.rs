@@ -52,6 +52,36 @@ pub struct FlushOutcome {
 /// [`StreamingConfig::overlap`] samples; the seam is cross-faded with
 /// raised-cosine weights so stitching artifacts stay far below the
 /// separation error (see the equivalence property test).
+///
+/// ```
+/// use dhf_core::DhfConfig;
+/// use dhf_stream::{StreamingConfig, StreamingSeparator};
+///
+/// # fn main() -> Result<(), dhf_stream::StreamError> {
+/// let fs = 100.0;
+/// // Tiny chunks keep this example quick; production streams use ~30 s
+/// // chunks (see `StreamingConfig`) for better separation quality.
+/// let cfg = StreamingConfig::new(400, 100, DhfConfig::fast().with_harmonic_interp())?;
+/// let mut sep = StreamingSeparator::new(fs, 1, cfg)?;
+///
+/// let mut emitted = 0;
+/// for packet_start in (0..600).step_by(100) {
+///     // 1 s packets of a 1.3 Hz quasi-periodic source, plus its f0.
+///     let samples: Vec<f64> = (packet_start..packet_start + 100)
+///         .map(|i| (std::f64::consts::TAU * 1.3 * i as f64 / fs).sin())
+///         .collect();
+///     let track = vec![1.3; 100];
+///     for block in sep.push(&samples, &[&track])? {
+///         assert_eq!(block.start, emitted, "blocks arrive contiguous, in order");
+///         emitted += block.len();
+///     }
+/// }
+/// let tail = sep.flush()?;
+/// emitted += tail.block.map_or(0, |b| b.len());
+/// assert_eq!(emitted, 600, "every ingested sample came back separated");
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug)]
 pub struct StreamingSeparator {
     fs: f64,

@@ -12,6 +12,9 @@
 //!   "sheep", dual wavelength (740/850 nm), a programmed fetal SaO2
 //!   trajectory coupled to the fetal PPG amplitudes through the paper's
 //!   modulation-ratio model (Eqs. 10–11), and timed blood draws.
+//! * [`dualwave`] — scenario-driven dual-wavelength recordings (constant /
+//!   ramp / desaturation SpO2 trajectories) for scoring the oximetry
+//!   pipeline against programmable ground truth.
 //!
 //! Waveform templates substitute for data we cannot access (sheep
 //! respiration shapes, MIMIC-IV pulses) — see `DESIGN.md` for why the
@@ -31,6 +34,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dualwave;
 pub mod duet;
 pub mod invivo;
 pub mod schedule;

@@ -22,7 +22,12 @@
 //! * [`serve`] — sharded multi-session serving runtime: batched
 //!   scheduling, bounded queues with backpressure, latency telemetry.
 //! * [`metrics`] — SDR/MSE/correlation with the paper's averaging rules.
-//! * [`oximetry`] — SpO2 estimation from dual-wavelength PPG.
+//! * [`oximetry`] — SpO2 estimation from dual-wavelength PPG: the Eq. 10
+//!   calibration plus the end-to-end fetal-oximetry trend pipeline,
+//!   offline and streaming.
+//!
+//! `docs/ARCHITECTURE.md` in the repository maps the crate graph, the
+//! data flow, and which crate to touch for a given change.
 //!
 //! # Quickstart
 //!
@@ -37,6 +42,8 @@
 //! let separated = separate(&mix.samples, mix.fs, &mix.f0_tracks(), &cfg).unwrap();
 //! assert_eq!(separated.sources.len(), 2);
 //! ```
+
+#![warn(missing_docs)]
 
 pub use dhf_baselines as baselines;
 pub use dhf_core as core;

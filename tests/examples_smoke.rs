@@ -8,7 +8,7 @@ use dhf::core::f0::F0Estimator;
 use dhf::core::{separate, DhfConfig};
 use dhf::dsp::filter::band_limit;
 use dhf::metrics::sdr_db;
-use dhf::oximetry::{ac_amplitude, dc_level, modulation_ratio, Calibration};
+use dhf::oximetry::{dc_level, Calibration};
 use dhf::serve::{ServeConfig, SessionManager};
 use dhf::stream::{StreamingConfig, StreamingSeparator};
 use dhf::synth::invivo::{simulate, InvivoConfig};
@@ -169,36 +169,60 @@ fn f0_tracking_path() {
     assert!(estimated.iter().all(|&f| f >= band.0 - 0.1 - 1e-9 && f <= band.1 + 0.1 + 1e-9));
 }
 
-/// `examples/fetal_monitoring.rs`: modulation ratios at the blood draws
-/// and the inverse-linear SpO2 calibration.
+/// `examples/fetal_spo2.rs`: the end-to-end oximetry walkthrough at
+/// miniature scale — offline trend, blood-draw calibration fit, and the
+/// streaming oximeter over the same recording. (The full-scale accuracy
+/// bounds live in `tests/oximetry_e2e.rs`.)
 #[test]
-fn fetal_monitoring_path() {
-    let recording = simulate(&InvivoConfig::sheep2().scaled(0.05));
-    let fs = recording.config.fs;
-    assert!(recording.draws.len() >= 2, "protocol must retain blood draws");
+fn fetal_spo2_path() {
+    use dhf::oximetry::{estimate_spo2_trend, OximetryConfig, StreamingOximeter};
+    use dhf::stream::StreamingConfig;
+    use dhf::synth::dualwave::{generate, DualWaveConfig, Spo2Scenario};
 
-    let half = (10.0 * fs) as usize;
-    let mut ratios = Vec::new();
-    let mut sao2 = Vec::new();
-    for draw in &recording.draws {
-        let centre = recording.sample_at(draw.time_s);
-        let lo = centre.saturating_sub(half);
-        let hi = (centre + half).min(recording.len());
-        let mut ac = [0.0f64; 2];
-        let mut dc = [0.0f64; 2];
-        for (lambda, mixed) in recording.mixed.iter().enumerate() {
-            let window = &mixed[lo..hi];
-            dc[lambda] = dc_level(window);
-            // Oracle fetal signal stands in for the separated estimate in
-            // this miniature run.
-            ac[lambda] = ac_amplitude(&recording.fetal_truth[lambda][lo..hi]);
-        }
-        ratios.push(modulation_ratio(ac[0], dc[0], ac[1], dc[1]));
-        sao2.push(draw.sao2);
+    let rec = generate(&DualWaveConfig::new(Spo2Scenario::desaturation(0.55, 0.35), 80.0));
+    let fs = rec.config.fs;
+    assert!(rec.draws.len() >= 2, "protocol must retain blood draws");
+    let dhf = DhfConfig::fast().with_harmonic_interp();
+    let ocfg =
+        OximetryConfig::new(1, (20.0 * fs) as usize, (10.0 * fs) as usize, Calibration::default())
+            .unwrap();
+    let tracks = vec![rec.f0.maternal.clone(), rec.f0.fetal.clone()];
+
+    // Offline trend + draw-fitted calibration, as the example does.
+    let trend =
+        estimate_spo2_trend([&rec.mixed[0], &rec.mixed[1]], fs, &tracks, &dhf, &ocfg).unwrap();
+    assert!(!trend.samples.is_empty());
+    let (mut draw_ratios, mut draw_sao2) = (Vec::new(), Vec::new());
+    for d in &rec.draws {
+        let nearest = trend
+            .samples
+            .iter()
+            .min_by(|a, b| {
+                let (da, db) =
+                    ((a.mid_time_s(fs) - d.time_s).abs(), (b.mid_time_s(fs) - d.time_s).abs());
+                da.partial_cmp(&db).unwrap()
+            })
+            .unwrap();
+        draw_ratios.push(nearest.ratio);
+        draw_sao2.push(d.sao2);
     }
+    let cal = Calibration::fit(&draw_ratios, &draw_sao2);
+    assert!(trend.ratios().iter().all(|&r| cal.predict(r).is_finite()));
 
-    let cal = Calibration::fit(&ratios, &sao2);
-    let predicted = cal.predict_many(&ratios);
-    assert_eq!(predicted.len(), sao2.len());
-    assert!(predicted.iter().all(|p| p.is_finite()));
+    // Streaming path over the same recording.
+    let scfg = StreamingConfig::new(3000, 600, dhf).unwrap();
+    let ocfg = OximetryConfig::new(1, (20.0 * fs) as usize, (10.0 * fs) as usize, cal).unwrap();
+    let mut oximeter = StreamingOximeter::new(fs, 2, scfg, ocfg).unwrap();
+    let n = rec.len();
+    let mut live = Vec::new();
+    for lo in (0..n).step_by(500) {
+        let hi = (lo + 500).min(n);
+        let t: [&[f64]; 2] = [&rec.f0.maternal[lo..hi], &rec.f0.fetal[lo..hi]];
+        live.extend(oximeter.push([&rec.mixed[0][lo..hi], &rec.mixed[1][lo..hi]], &t).unwrap());
+    }
+    let fin = oximeter.flush().unwrap();
+    assert_eq!(fin.dropped_samples, 0);
+    live.extend(fin.samples);
+    assert_eq!(live.len(), trend.samples.len(), "streaming must emit every completable window");
+    assert!(live.iter().all(|s| s.spo2.is_finite()));
 }

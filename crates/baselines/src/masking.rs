@@ -106,7 +106,8 @@ impl Separator for SpectralMasking {
         let mut out = Vec::with_capacity(ns);
         for si in 0..ns {
             let mask: Vec<f64> = owner.iter().map(|&o| if o == si { 1.0 } else { 0.0 }).collect();
-            let masked = spec.apply_mask(&mask);
+            let mut masked = spec.clone();
+            masked.apply_mask_in_place(&mask);
             out.push(istft(&masked));
         }
         Ok(out)

@@ -120,7 +120,8 @@ impl Separator for Nmf {
                     mask[b * frames + m] = contrib / (wh[b * frames + m] + eps);
                 }
             }
-            let masked = spec.apply_mask(&mask);
+            let mut masked = spec.clone();
+            masked.apply_mask_in_place(&mask);
             out.push(istft(&masked));
         }
         Ok(out)

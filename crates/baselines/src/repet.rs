@@ -114,7 +114,8 @@ impl Repet {
         // Soft mask and resynthesis.
         let eps = 1e-9;
         let mask: Vec<f64> = v.iter().zip(&model).map(|(&vv, &mm)| mm / (vv + eps)).collect();
-        let masked = spec.apply_mask(&mask);
+        let mut masked = spec.clone();
+        masked.apply_mask_in_place(&mask);
         let background = istft(&masked);
         let foreground: Vec<f64> = mixed.iter().zip(&background).map(|(&x, &b)| x - b).collect();
         Ok((background, foreground))

@@ -9,40 +9,40 @@
 
 use dhf_baselines::{masking::SpectralMasking, SeparationContext, Separator};
 use dhf_bench::{bench_dhf_config, dhf_iterations, env_f64, fast_mode, Stopwatch};
-use dhf_core::separate;
+use dhf_core::RoundContext;
 use dhf_metrics::pearson;
 use dhf_oximetry::{ac_amplitude, dc_level, modulation_ratio, Calibration};
 use dhf_synth::invivo::{simulate, InvivoConfig, TfoRecording};
 
 /// Extracts the fetal AC estimate for one analysis window on one channel.
+/// DHF windows run through the shared `dhf_ctx` so its SoA spectrogram
+/// workspace and FFT plan cache stay warm across draws and wavelengths.
 fn fetal_estimate(
     recording: &TfoRecording,
     lambda: usize,
     lo: usize,
     hi: usize,
     method: &str,
-    iterations: usize,
+    dhf_ctx: &mut RoundContext,
 ) -> Vec<f64> {
     let window = &recording.mixed[lambda][lo..hi];
     // Remove the DC level: separators work on the pulsatile part.
     let dc = dc_level(window);
     let ac: Vec<f64> = window.iter().map(|&v| v - dc).collect();
-    let tracks = vec![recording.f0.maternal[lo..hi].to_vec(), recording.f0.fetal[lo..hi].to_vec()];
+    let tracks: [&[f64]; 2] = [&recording.f0.maternal[lo..hi], &recording.f0.fetal[lo..hi]];
     match method {
         "masking" => {
-            let ctx = SeparationContext { fs: recording.config.fs, f0_tracks: &tracks };
+            let owned = vec![tracks[0].to_vec(), tracks[1].to_vec()];
+            let ctx = SeparationContext { fs: recording.config.fs, f0_tracks: &owned };
             SpectralMasking::default()
                 .separate(&ac, &ctx)
                 .map(|est| est[1].clone())
                 .unwrap_or_else(|_| vec![0.0; ac.len()])
         }
-        _ => {
-            let mut cfg = bench_dhf_config();
-            cfg.inpaint.iterations = iterations;
-            separate(&ac, recording.config.fs, &tracks, &cfg)
-                .map(|r| r.sources[1].clone())
-                .unwrap_or_else(|_| vec![0.0; ac.len()])
-        }
+        _ => dhf_ctx
+            .separate_refs(&ac, recording.config.fs, &tracks, 0)
+            .map(|mut r| std::mem::take(&mut r.sources[1]))
+            .unwrap_or_else(|_| vec![0.0; ac.len()]),
     }
 }
 
@@ -50,6 +50,10 @@ fn fetal_estimate(
 fn evaluate_sheep(recording: &TfoRecording, method: &str, iterations: usize) -> (f64, Vec<f64>) {
     let fs = recording.config.fs;
     let half_window = (env_f64("DHF_INVIVO_WINDOW_S", 60.0) * fs / 2.0) as usize;
+    let mut cfg = bench_dhf_config();
+    cfg.inpaint.iterations = iterations;
+    let mut dhf_ctx = RoundContext::new(&cfg);
+    dhf_ctx.set_collect_reports(false);
     let mut ratios = Vec::new();
     let mut sao2 = Vec::new();
     for draw in &recording.draws {
@@ -64,7 +68,7 @@ fn evaluate_sheep(recording: &TfoRecording, method: &str, iterations: usize) -> 
         let mut ac = [0.0f64; 2];
         let mut dc = [0.0f64; 2];
         for lambda in 0..2 {
-            let est = fetal_estimate(recording, lambda, lo, hi, method, iterations);
+            let est = fetal_estimate(recording, lambda, lo, hi, method, &mut dhf_ctx);
             ac[lambda] = ac_amplitude(&est);
             dc[lambda] = dc_level(&recording.mixed[lambda][lo..hi]);
         }

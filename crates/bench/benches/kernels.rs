@@ -22,25 +22,37 @@ fn bench_fft(c: &mut Criterion) {
 
 fn bench_fft_plan_cache(c: &mut Criterion) {
     use dhf_dsp::fft::FftPlanner;
+    use dhf_dsp::Complex;
     let x: Vec<f64> = (0..512).map(|i| (i as f64 * 0.23).sin()).collect();
     // Hot path: one planner reused across frames — twiddles, bit-reversal
     // and scratch are built exactly once.
     let mut planner = FftPlanner::new();
     let mut half = Vec::new();
-    c.bench_function("fft_real_512_cached_plan", |b| {
+    c.bench_function("rfft_512_cached_plan", |b| {
         b.iter(|| {
-            planner.fft_real_into(black_box(&x), &mut half);
+            planner.rfft_into(black_box(&x), &mut half);
             black_box(&half);
         })
     });
-    assert_eq!(planner.plans_built(), 1, "repeated same-size transforms must share one plan");
+    assert_eq!(planner.plans_built(), 2, "repeated same-size transforms must share one plan set");
+    // The full-size complex transform the packed path replaced: promoting
+    // the real frame to 512 complex points costs roughly twice the work.
+    let mut buf = Vec::new();
+    c.bench_function("fft_complex_promoted_512_cached_plan", |b| {
+        b.iter(|| {
+            buf.clear();
+            buf.extend(x.iter().map(|&v| Complex::from_real(v)));
+            planner.fft_inplace(black_box(&mut buf));
+            black_box(&buf);
+        })
+    });
     // Cold path: a fresh planner per transform rebuilds every table — the
     // cost the cache removes from the per-frame hot loop.
-    c.bench_function("fft_real_512_cold_plan", |b| {
+    c.bench_function("rfft_512_cold_plan", |b| {
         b.iter(|| {
             let mut p = FftPlanner::new();
             let mut h = Vec::new();
-            p.fft_real_into(black_box(&x), &mut h);
+            p.rfft_into(black_box(&x), &mut h);
             black_box(h)
         })
     });

@@ -21,7 +21,7 @@
 //! DHF_SCENARIO=oximetry cargo run --release -p dhf_bench --bin loadgen
 //! ```
 
-use dhf_bench::{env_usize, fast_mode};
+use dhf_bench::{env_usize, fast_mode, write_bench_json, JsonObject};
 use dhf_core::DhfConfig;
 use dhf_oximetry::{Calibration, OximetryConfig};
 use dhf_serve::{ServeConfig, SessionManager};
@@ -224,4 +224,39 @@ fn main() {
         fmt_ms(telemetry.latency_percentile(99.0)),
         telemetry.latency().count(),
     );
+
+    // Machine-readable record of the run, so the serving perf trajectory
+    // is tracked across PRs (CI uploads it as an artifact).
+    let p_ms = |p: f64| telemetry.latency_percentile(p).map_or(f64::NAN, |v| v * 1e3);
+    let mut json = JsonObject::new()
+        .str("bench", "loadgen")
+        .str("scenario", &scenario)
+        .int("sessions", sessions as u64)
+        .int("workers", workers as u64)
+        .int("clients", clients as u64)
+        .int("stream_seconds", stream_seconds as u64)
+        .int("packet_samples", packet as u64)
+        .num("wall_seconds", wall.as_secs_f64())
+        .int("samples_out", total_out)
+        .num("samples_per_sec", total_out as f64 / wall.as_secs_f64())
+        .num("realtime_x", total_out as f64 / wall.as_secs_f64() / FS)
+        .num("latency_p50_ms", p_ms(50.0))
+        .num("latency_p95_ms", p_ms(95.0))
+        .num("latency_p99_ms", p_ms(99.0))
+        .int("packets_processed", telemetry.latency().count())
+        .int("plans_built", telemetry.plans_built())
+        .int("dropped_samples", telemetry.dropped_samples());
+    if oximetry {
+        let stats = telemetry.spo2_stats();
+        json = json.obj(
+            "spo2",
+            JsonObject::new()
+                .int("windows", stats.count())
+                .num("min", stats.min().unwrap_or(f64::NAN))
+                .num("mean", stats.mean().unwrap_or(f64::NAN))
+                .num("max", stats.max().unwrap_or(f64::NAN)),
+        );
+    }
+    let path = write_bench_json("BENCH_serve.json", &json);
+    println!("  wrote {}", path.display());
 }

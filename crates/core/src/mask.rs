@@ -20,6 +20,13 @@ pub struct HarmonicMask {
 }
 
 impl HarmonicMask {
+    /// An empty mask (zero bins and frames) — the placeholder a reusable
+    /// round context starts from; the first
+    /// [`HarmonicMask::rebuild_significant`] overwrites shape and data.
+    pub fn empty() -> Self {
+        HarmonicMask { bins: 0, frames: 0, visible: Vec::new() }
+    }
+
     /// Builds the mask for one separation round.
     ///
     /// * `cfg` — the unwarped-space STFT layout (1 unwarped Hz = target
@@ -58,13 +65,49 @@ impl HarmonicMask {
         magnitude: Option<&[f64]>,
         factor: f64,
     ) -> Self {
+        let mut mask = HarmonicMask::empty();
+        mask.rebuild_significant(
+            cfg,
+            frames,
+            interferer_ratios,
+            harmonics,
+            bandwidth_hz,
+            magnitude,
+            factor,
+        );
+        mask
+    }
+
+    /// In-place variant of [`HarmonicMask::build_significant`]: overwrites
+    /// this mask's shape and visibility, reusing its buffer — the per-round
+    /// entry point of the pipeline's reusable round context.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rebuild_significant(
+        &mut self,
+        cfg: &StftConfig,
+        frames: usize,
+        interferer_ratios: &[Vec<f64>],
+        harmonics: usize,
+        bandwidth_hz: f64,
+        magnitude: Option<&[f64]>,
+        factor: f64,
+    ) {
         let bins = cfg.bins();
         let median_mag = magnitude.map(|mag| {
             let mut v = mag.to_vec();
-            v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-            v[v.len() / 2]
+            let mid = v.len() / 2;
+            // Median by selection: same element the full sort would put at
+            // the midpoint, in O(n).
+            v.select_nth_unstable_by(mid, |a, b| {
+                a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            v[mid]
         });
-        let mut visible = vec![true; bins * frames];
+        self.bins = bins;
+        self.frames = frames;
+        self.visible.clear();
+        self.visible.resize(bins * frames, true);
+        let visible = &mut self.visible;
         for ratios in interferer_ratios {
             for k in 1..=harmonics {
                 // Significance test along the whole ridge of harmonic k.
@@ -105,7 +148,6 @@ impl HarmonicMask {
                 }
             }
         }
-        HarmonicMask { bins, frames, visible }
     }
 
     /// Number of frequency bins.
@@ -126,7 +168,16 @@ impl HarmonicMask {
 
     /// Bin-major `f32` image (1 = visible, 0 = hidden) for the loss.
     pub fn as_f32(&self) -> Vec<f32> {
-        self.visible.iter().map(|&v| if v { 1.0 } else { 0.0 }).collect()
+        let mut out = Vec::new();
+        self.write_f32_into(&mut out);
+        out
+    }
+
+    /// Writes the bin-major `f32` visibility image into `out` (cleared
+    /// first), reusing its capacity.
+    pub fn write_f32_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend(self.visible.iter().map(|&v| if v { 1.0 } else { 0.0 }));
     }
 
     /// Bin-major hidden-cell flags (`true` = concealed), the layout
@@ -143,10 +194,11 @@ impl HarmonicMask {
         self.visible.iter().filter(|&&v| !v).count() as f64 / self.visible.len() as f64
     }
 
-    /// Per-frame visibility of a single bin row (used by the cyclic phase
-    /// interpolator).
-    pub fn row_visibility(&self, bin: usize) -> Vec<bool> {
-        (0..self.frames).map(|m| self.is_visible(bin, m)).collect()
+    /// Per-frame visibility of a single bin row as a borrowed slice (the
+    /// bin-major layout makes each row contiguous) — used by the cyclic
+    /// phase interpolator without copying.
+    pub fn row_visibility(&self, bin: usize) -> &[bool] {
+        &self.visible[bin * self.frames..(bin + 1) * self.frames]
     }
 }
 

@@ -7,28 +7,39 @@
 //! unlike direct angle interpolation.
 
 use crate::mask::HarmonicMask;
-use dhf_dsp::phase::interpolate_cyclic;
+use dhf_dsp::phase::interpolate_cyclic_into;
 use dhf_dsp::stft::Spectrogram;
 
 /// Phase image (bin-major `bins × frames`) with concealed cells
 /// re-interpolated from the visible ones, every bin handled independently
 /// (but conceptually concurrently, as the paper notes).
 pub fn interpolate_masked_phase(spec: &Spectrogram, mask: &HarmonicMask) -> Vec<f64> {
+    let mut out = Vec::new();
+    interpolate_masked_phase_into(spec, mask, &mut out);
+    out
+}
+
+/// Like [`interpolate_masked_phase`], writing the bin-major phase image
+/// into `out` (cleared first). The round context calls this every round
+/// with reused buffers; per-bin phases are gathered from the workspace's
+/// SoA planes and each row's visibility is a borrowed mask slice, so the
+/// only transient state is one frame-length scratch row.
+pub fn interpolate_masked_phase_into(spec: &Spectrogram, mask: &HarmonicMask, out: &mut Vec<f64>) {
     let bins = spec.bins();
     let frames = spec.frames();
     assert_eq!(mask.bins(), bins, "mask/spectrogram bins mismatch");
     assert_eq!(mask.frames(), frames, "mask/spectrogram frames mismatch");
-    let mut out = vec![0.0f64; bins * frames];
+    out.clear();
+    out.resize(bins * frames, 0.0);
     let mut row_phase = vec![0.0f64; frames];
+    let mut fixed = Vec::with_capacity(frames);
     for b in 0..bins {
         for (m, rp) in row_phase.iter_mut().enumerate() {
             *rp = spec.at(b, m).arg();
         }
-        let valid = mask.row_visibility(b);
-        let fixed = interpolate_cyclic(&row_phase, &valid);
+        interpolate_cyclic_into(&row_phase, mask.row_visibility(b), &mut fixed);
         out[b * frames..(b + 1) * frames].copy_from_slice(&fixed);
     }
-    out
 }
 
 #[cfg(test)]

@@ -3,10 +3,10 @@
 use crate::align::{PatternAligner, UnwarpedSignal};
 use crate::inpaint::{inpaint_magnitude, InpaintConfig, InpaintMethod};
 use crate::mask::{target_comb_gain, HarmonicMask};
-use crate::phase::interpolate_masked_phase;
+use crate::phase::interpolate_masked_phase_into;
 use crate::DhfError;
-use dhf_dsp::fft::{fft_real, rfft_frequencies};
 use dhf_dsp::stft::{Spectrogram, StftConfig, StftEngine};
+use dhf_dsp::Complex;
 use dhf_nn::{ConvKind, NetConfig, TrainReport};
 
 /// Order in which sources are peeled off the mix.
@@ -175,12 +175,29 @@ pub fn validate_tracks(mixed_len: usize, f0_tracks: &[Vec<f64>]) -> Result<(), D
         return Err(DhfError::MissingTracks);
     }
     for (ti, t) in f0_tracks.iter().enumerate() {
-        if t.len() != mixed_len {
-            return Err(DhfError::TrackLengthMismatch { signal: mixed_len, track: t.len() });
-        }
-        if let Some(sample) = t.iter().position(|&f| !f.is_finite() || f <= 0.0) {
-            return Err(DhfError::NonPositiveTrackValue { track: ti, sample });
-        }
+        validate_one_track(mixed_len, ti, t)?;
+    }
+    Ok(())
+}
+
+/// Slice-based variant of [`validate_tracks`], used by callers that hold
+/// borrowed windows of longer tracks (the streaming engine's chunks).
+pub fn validate_track_refs(mixed_len: usize, f0_tracks: &[&[f64]]) -> Result<(), DhfError> {
+    if f0_tracks.is_empty() {
+        return Err(DhfError::MissingTracks);
+    }
+    for (ti, t) in f0_tracks.iter().enumerate() {
+        validate_one_track(mixed_len, ti, t)?;
+    }
+    Ok(())
+}
+
+fn validate_one_track(mixed_len: usize, ti: usize, t: &[f64]) -> Result<(), DhfError> {
+    if t.len() != mixed_len {
+        return Err(DhfError::TrackLengthMismatch { signal: mixed_len, track: t.len() });
+    }
+    if let Some(sample) = t.iter().position(|&f| !f.is_finite() || f <= 0.0) {
+        return Err(DhfError::NonPositiveTrackValue { track: ti, sample });
     }
     Ok(())
 }
@@ -207,24 +224,38 @@ pub fn separate(
 }
 
 /// Reusable machinery for DHF rounds: owns the [`StftEngine`] (cached FFT
-/// plans, window and frame scratch) and the spectrogram-sized work buffers
-/// so that running many rounds — the offline multi-round loop, or one
-/// round per chunk in the streaming engine — re-allocates nothing on the
-/// hot path.
+/// plans, window and frame scratch), the SoA [`Spectrogram`] workspace,
+/// and every spectrogram-sized work buffer (magnitude/phase images, mask,
+/// loss mask) so that running many rounds — the offline multi-round loop,
+/// or one round per chunk in the streaming engine — re-allocates nothing
+/// on the hot path. Serving workers keep one context per session, so the
+/// FFT plan cache and the spectral buffers stay warm together.
 #[derive(Debug)]
 pub struct RoundContext {
     cfg: DhfConfig,
     engine: StftEngine,
-    /// Reused analysis spectrogram (overwritten by each round's STFT).
+    /// Reused SoA spectrogram workspace (overwritten by each round's STFT,
+    /// then mutated in place through masking, in-painting and phase
+    /// restoration).
     spec: Spectrogram,
     /// Reused bin-major magnitude image.
     magnitude: Vec<f64>,
+    /// Reused bin-major phase image.
+    phase: Vec<f64>,
+    /// Reused harmonic mask (rebuilt in place each round).
+    mask: HarmonicMask,
+    /// Reused bin-major `f32` visibility image for the in-painting loss.
+    mask_f32: Vec<f32>,
     /// Reused interferer ridge ratios (one inner vec per interferer).
     ratios: Vec<Vec<f64>>,
     /// Reused unwarped-domain resynthesis buffer.
     y_un: Vec<f64>,
     /// Reused residual buffer for the multi-round loop.
     residual: Vec<f64>,
+    /// Reused per-round in-painting config (seed/dilation overwritten).
+    icfg: InpaintConfig,
+    /// Reused half-spectrum scratch for the peel-order band energies.
+    band_half: Vec<Complex>,
     /// Whether [`RoundReport`]s carry their heavy diagnostic payloads
     /// (hidden-cell flags, residual magnitude image).
     collect_reports: bool,
@@ -242,17 +273,19 @@ impl RoundContext {
     /// Creates a context for the given configuration. Buffers start empty
     /// and grow to the working size on the first round.
     pub fn new(cfg: &DhfConfig) -> Self {
-        // Placeholder layout only: the spectrogram's config, shape and
-        // data are fully overwritten by each round's `stft_into`.
-        let placeholder = StftConfig::new(128, 32, 16.0).expect("valid placeholder layout");
         RoundContext {
             cfg: cfg.clone(),
             engine: StftEngine::new(),
-            spec: Spectrogram::from_parts(placeholder, 0, Vec::new(), 0),
+            spec: Spectrogram::workspace(),
             magnitude: Vec::new(),
+            phase: Vec::new(),
+            mask: HarmonicMask::empty(),
+            mask_f32: Vec::new(),
             ratios: Vec::new(),
             y_un: Vec::new(),
             residual: Vec::new(),
+            icfg: cfg.inpaint.clone(),
+            band_half: Vec::new(),
             collect_reports: true,
         }
     }
@@ -296,9 +329,27 @@ impl RoundContext {
         f0_tracks: &[Vec<f64>],
         salt_base: u64,
     ) -> Result<SeparationResult, DhfError> {
-        validate_tracks(mixed.len(), f0_tracks)?;
+        let refs: Vec<&[f64]> = f0_tracks.iter().map(Vec::as_slice).collect();
+        self.separate_refs(mixed, fs, &refs, salt_base)
+    }
 
-        let order = peel_order(mixed, fs, f0_tracks, self.cfg.order);
+    /// Slice-based variant of [`RoundContext::separate`]: borrows the f0
+    /// tracks, so callers windowing longer tracks (the streaming engine's
+    /// chunks) separate without copying them first.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`separate`].
+    pub fn separate_refs(
+        &mut self,
+        mixed: &[f64],
+        fs: f64,
+        f0_tracks: &[&[f64]],
+        salt_base: u64,
+    ) -> Result<SeparationResult, DhfError> {
+        validate_track_refs(mixed.len(), f0_tracks)?;
+
+        let order = self.peel_order(mixed, fs, f0_tracks);
         let mut residual = std::mem::take(&mut self.residual);
         residual.clear();
         residual.extend_from_slice(mixed);
@@ -324,6 +375,50 @@ impl RoundContext {
         Ok(SeparationResult { sources, rounds })
     }
 
+    /// Decides the peeling order, scoring band energies through the
+    /// context's reused half-spectrum scratch (the transforms themselves
+    /// go to the shared thread-local planner — see
+    /// [`RoundContext::band_energy`]).
+    fn peel_order(&mut self, mixed: &[f64], fs: f64, f0_tracks: &[&[f64]]) -> Vec<usize> {
+        let n = f0_tracks.len();
+        match self.cfg.order {
+            SeparationOrder::AsGiven => (0..n).collect(),
+            SeparationOrder::EnergyDescending => {
+                let mut scored: Vec<(f64, usize)> = (0..n)
+                    .map(|i| {
+                        let t = f0_tracks[i];
+                        let (lo, hi) =
+                            t.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+                        (self.band_energy(mixed, fs, (lo - 0.1).max(0.01), hi + 0.1), i)
+                    })
+                    .collect();
+                scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+                scored.into_iter().map(|(_, i)| i).collect()
+            }
+        }
+    }
+
+    /// Spectral energy of `signal` inside `[lo, hi]` Hz via one packed
+    /// real FFT into the context's reused half-spectrum scratch.
+    ///
+    /// Runs on the thread-local planner rather than the context's own: the
+    /// full-signal transform size differs from every STFT frame size, and
+    /// sharing it per worker thread keeps its (large) Bluestein plan warm
+    /// across short-lived contexts — one `separate()` call each — too.
+    fn band_energy(&mut self, signal: &[f64], fs: f64, lo: f64, hi: f64) -> f64 {
+        dhf_dsp::fft::with_thread_planner(|p| p.rfft_into(signal, &mut self.band_half));
+        let n = signal.len();
+        self.band_half
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| {
+                let f = k as f64 * fs / n as f64;
+                f >= lo && f <= hi
+            })
+            .map(|(_, c)| c.norm_sqr())
+            .sum()
+    }
+
     /// One DHF round targeting source `si` of the given residual
     /// (unwarp → mask → in-paint → phase → resynthesize → restore).
     ///
@@ -335,12 +430,12 @@ impl RoundContext {
         &mut self,
         residual: &[f64],
         fs: f64,
-        f0_tracks: &[Vec<f64>],
+        f0_tracks: &[&[f64]],
         si: usize,
         round_salt: u64,
     ) -> Result<(Vec<f64>, RoundReport), DhfError> {
         let cfg = &self.cfg;
-        let target_track = &f0_tracks[si];
+        let target_track = f0_tracks[si];
         let aligner = PatternAligner::new(target_track, fs, cfg.fs_prime)?;
         let un = aligner.unwarp(residual)?;
 
@@ -363,21 +458,26 @@ impl RoundContext {
         let bins = self.spec.bins();
         let frames = self.spec.frames();
 
-        // Interferer ridges: frequency ratios at each frame centre.
-        self.ratios.clear();
+        // Interferer ridges: frequency ratios at each frame centre. Inner
+        // vectors are reused round to round.
+        let mut ri = 0usize;
         for (j, other) in f0_tracks.iter().enumerate() {
             if j == si {
                 continue;
             }
-            let per_frame: Vec<f64> = (0..frames)
-                .map(|m| {
-                    let centre = (m * hop + window / 2).min(un.len() - 1);
-                    let t_orig = un.timestamps[centre];
-                    aligner.warped_frequency(other, target_track, t_orig)
-                })
-                .collect();
-            self.ratios.push(per_frame);
+            if self.ratios.len() <= ri {
+                self.ratios.push(Vec::new());
+            }
+            let per_frame = &mut self.ratios[ri];
+            per_frame.clear();
+            per_frame.extend((0..frames).map(|m| {
+                let centre = (m * hop + window / 2).min(un.len() - 1);
+                let t_orig = un.timestamps[centre];
+                aligner.warped_frequency(other, target_track, t_orig)
+            }));
+            ri += 1;
         }
+        self.ratios.truncate(ri);
 
         // Interferer ridges wander further (in unwarped Hz) within the
         // longer original-time windows of shrunk rounds, so the concealed
@@ -385,9 +485,8 @@ impl RoundContext {
         // harmonics are concealed (paper §3.3), judged against the
         // spectrogram median.
         let mask_bw = cfg.mask_bandwidth_hz * (cfg.window as f64 / window as f64);
-        self.magnitude.clear();
-        self.magnitude.extend(self.spec.data().iter().map(|c| c.abs()));
-        let mask = HarmonicMask::build_significant(
+        self.spec.magnitude_into(&mut self.magnitude);
+        self.mask.rebuild_significant(
             &stft_cfg,
             frames,
             &self.ratios,
@@ -396,7 +495,7 @@ impl RoundContext {
             Some(&self.magnitude),
             cfg.mask_significance,
         );
-        let hidden_fraction = mask.hidden_fraction();
+        let hidden_fraction = self.mask.hidden_fraction();
 
         // Dilation by masking situation (§4.2), capped so the receptive
         // field stays inside the spectrogram.
@@ -407,21 +506,20 @@ impl RoundContext {
         };
         let dilation = wanted.min((frames / 4).max(1));
 
-        // Per-round in-painting config: inject dilation and decorrelate
-        // seeds across rounds.
-        let mut icfg = cfg.inpaint.clone();
-        icfg.seed = icfg.seed.wrapping_add(round_salt.wrapping_mul(0x9E37_79B9));
-        if let ConvKind::Harmonic { harmonics, kt, anchor, .. } = icfg.net.conv {
-            icfg.net.conv = ConvKind::Harmonic { harmonics, kt, anchor, dil_t: dilation };
+        // Per-round in-painting config (a reused copy of `cfg.inpaint`):
+        // inject dilation and decorrelate seeds across rounds.
+        self.icfg.seed = cfg.inpaint.seed.wrapping_add(round_salt.wrapping_mul(0x9E37_79B9));
+        if let ConvKind::Harmonic { harmonics, kt, anchor, .. } = cfg.inpaint.net.conv {
+            self.icfg.net.conv = ConvKind::Harmonic { harmonics, kt, anchor, dil_t: dilation };
         }
 
-        let mask_f32 = mask.as_f32();
-        let outcome = inpaint_magnitude(&self.magnitude, bins, frames, &mask_f32, &icfg)?;
+        self.mask.write_f32_into(&mut self.mask_f32);
+        let outcome = inpaint_magnitude(&self.magnitude, bins, frames, &self.mask_f32, &self.icfg)?;
 
         // Cyclic phase interpolation across the concealed cells (§3.4),
-        // then rebuild the spectrogram in place.
-        let phase = interpolate_masked_phase(&self.spec, &mask);
-        self.spec.set_magnitude_phase(&outcome.magnitude, &phase);
+        // then rebuild the workspace planes in place.
+        interpolate_masked_phase_into(&self.spec, &self.mask, &mut self.phase);
+        self.spec.set_magnitude_phase(&outcome.magnitude, &self.phase);
 
         // Optional comb restriction: keep only the target's harmonic rows.
         // Rounds that shrank the window target a slow dominant source
@@ -457,7 +555,7 @@ impl RoundContext {
             train: outcome.report,
             bins,
             frames,
-            hidden: if self.collect_reports { mask.hidden_flags() } else { Vec::new() },
+            hidden: if self.collect_reports { self.mask.hidden_flags() } else { Vec::new() },
             residual_magnitude: if self.collect_reports {
                 self.magnitude.clone()
             } else {
@@ -465,38 +563,6 @@ impl RoundContext {
             },
         };
         Ok((estimate, report))
-    }
-}
-
-/// Spectral energy of `signal` inside `[lo, hi]` Hz.
-fn band_energy(signal: &[f64], fs: f64, lo: f64, hi: f64) -> f64 {
-    let spec = fft_real(signal);
-    let freqs = rfft_frequencies(signal.len(), fs);
-    spec.iter().zip(&freqs).filter(|(_, &f)| f >= lo && f <= hi).map(|(c, _)| c.norm_sqr()).sum()
-}
-
-/// Decides the peeling order.
-fn peel_order(
-    mixed: &[f64],
-    fs: f64,
-    f0_tracks: &[Vec<f64>],
-    order: SeparationOrder,
-) -> Vec<usize> {
-    let n = f0_tracks.len();
-    match order {
-        SeparationOrder::AsGiven => (0..n).collect(),
-        SeparationOrder::EnergyDescending => {
-            let mut scored: Vec<(f64, usize)> = (0..n)
-                .map(|i| {
-                    let t = &f0_tracks[i];
-                    let (lo, hi) =
-                        t.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
-                    (band_energy(mixed, fs, (lo - 0.1).max(0.01), hi + 0.1), i)
-                })
-                .collect();
-            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
-            scored.into_iter().map(|(_, i)| i).collect()
-        }
     }
 }
 
@@ -580,10 +646,13 @@ mod tests {
         let fs = 100.0;
         let n = 6000;
         let (mix, _s1, _s2, tracks) = make_mix(fs, n);
-        let order = peel_order(&mix, fs, &tracks, SeparationOrder::EnergyDescending);
+        let refs: Vec<&[f64]> = tracks.iter().map(Vec::as_slice).collect();
+        let mut ctx = RoundContext::new(&DhfConfig::fast());
+        let order = ctx.peel_order(&mix, fs, &refs);
         assert_eq!(order[0], 0, "dominant source must be peeled first");
-        let given = peel_order(&mix, fs, &tracks, SeparationOrder::AsGiven);
-        assert_eq!(given, vec![0, 1]);
+        let mut as_given =
+            RoundContext::new(&DhfConfig { order: SeparationOrder::AsGiven, ..DhfConfig::fast() });
+        assert_eq!(as_given.peel_order(&mix, fs, &refs), vec![0, 1]);
     }
 
     #[test]

@@ -1,22 +1,29 @@
 //! Fast Fourier transforms.
 //!
-//! Two engines are provided behind one entry point:
+//! Three engines are provided behind one entry point:
 //!
 //! * an in-place iterative radix-2 Cooley–Tukey transform for power-of-two
-//!   lengths, and
+//!   lengths,
 //! * Bluestein's chirp-z algorithm for arbitrary lengths, which reduces an
 //!   N-point DFT to a circular convolution carried out with the radix-2
-//!   engine.
+//!   engine, and
+//! * a *packed real* transform ([`FftPlanner::rfft_into`] /
+//!   [`FftPlanner::irfft_into`]): an even-length real N-point DFT computed
+//!   via one N/2-point complex transform by packing even samples into the
+//!   real lane and odd samples into the imaginary lane, then unscrambling
+//!   with a cached split-twiddle table. Real transforms of odd length fall
+//!   back to the full complex engine (Bluestein).
 //!
 //! All per-size state (bit-reversal permutations, stage twiddle tables,
-//! Bluestein chirps and pre-transformed convolution kernels) lives in an
-//! [`FftPlanner`]: the first transform of a given size builds a plan, every
-//! later transform of that size reuses it, so repeated same-size transforms
-//! — the STFT hot path — do no twiddle recomputation. The free functions
-//! ([`fft`], [`ifft`], [`fft_real`], …) delegate to a thread-local planner
-//! and therefore share plans within a thread; performance-critical callers
-//! running many frames (streaming separation, benches) should hold their
-//! own [`FftPlanner`] and use the `*_into` scratch-buffer entry points.
+//! Bluestein chirps and pre-transformed convolution kernels, real-split
+//! twiddles) lives in an [`FftPlanner`]: the first transform of a given
+//! size builds a plan, every later transform of that size reuses it, so
+//! repeated same-size transforms — the STFT hot path — do no twiddle
+//! recomputation. The free functions ([`fft`], [`ifft`], [`fft_real`], …)
+//! delegate to a thread-local planner and therefore share plans within a
+//! thread; performance-critical callers running many frames (streaming
+//! separation, benches) should hold their own [`FftPlanner`] and use the
+//! `*_into` scratch-buffer entry points.
 //!
 //! The convention is the unnormalized forward DFT
 //! `X[k] = Σ_n x[n]·e^{-2πi·kn/N}`; [`ifft`] divides by `N`, so
@@ -170,10 +177,33 @@ impl BluesteinPlan {
     }
 }
 
+/// Cached split-twiddle table for one even packed-real transform size.
+///
+/// The N-point real DFT is computed as one M = N/2-point complex DFT of
+/// `z[m] = x[2m] + i·x[2m+1]`; recovering `X[k]` from `Z` needs the
+/// twiddles `e^{-2πi·k/N}` for `k ≤ M`, cached here.
+#[derive(Debug, Clone)]
+struct RealPlan {
+    /// `cis(-2π·k/n)` for `k = 0..=n/2`.
+    twiddle: Vec<Complex>,
+}
+
+impl RealPlan {
+    fn new(n: usize) -> Self {
+        debug_assert!(n >= 2 && n % 2 == 0);
+        let m = n / 2;
+        let mut twiddle = Vec::with_capacity(m + 1);
+        for k in 0..=m {
+            twiddle.push(Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64));
+        }
+        RealPlan { twiddle }
+    }
+}
+
 /// A reusable FFT planner: computes and caches per-size plan state
 /// (twiddle tables, bit-reversal permutations, Bluestein chirps and
-/// kernel spectra) so that repeated transforms of the same size pay the
-/// table-construction cost exactly once.
+/// kernel spectra, real-split twiddles) so that repeated transforms of the
+/// same size pay the table-construction cost exactly once.
 ///
 /// # Example
 ///
@@ -185,22 +215,25 @@ impl BluesteinPlan {
 /// let mut half = Vec::new();
 /// for _ in 0..100 {
 ///     let frame = vec![1.0f64; 512];
-///     planner.fft_real_into(&frame, &mut half);
+///     planner.rfft_into(&frame, &mut half);
 /// }
-/// // 100 same-size transforms built exactly one plan.
-/// assert_eq!(planner.plans_built(), 1);
+/// // 100 same-size real transforms built exactly two plans: the 256-point
+/// // complex half-size plan plus the 512-point real-split table.
+/// assert_eq!(planner.plans_built(), 2);
 /// assert!((half[0].re - 512.0).abs() < 1e-9);
 /// ```
 #[derive(Debug, Default)]
 pub struct FftPlanner {
     radix2: HashMap<usize, Radix2Plan>,
     bluestein: HashMap<usize, BluesteinPlan>,
+    real: HashMap<usize, RealPlan>,
     /// Number of plans constructed over the planner's lifetime (cache
     /// misses); cache hits leave it unchanged.
     plans_built: usize,
     /// Scratch for the Bluestein convolution (length `m`).
     conv_scratch: Vec<Complex>,
-    /// Scratch for real-transform promotion to complex.
+    /// Scratch for the packed real transform (length `n/2`, or `n` on the
+    /// odd-length complex fallback).
     real_scratch: Vec<Complex>,
 }
 
@@ -218,7 +251,7 @@ impl FftPlanner {
 
     /// Number of distinct transform sizes currently cached.
     pub fn cached_sizes(&self) -> usize {
-        self.radix2.len() + self.bluestein.len()
+        self.radix2.len() + self.bluestein.len() + self.real.len()
     }
 
     fn ensure_radix2(&mut self, n: usize) {
@@ -293,51 +326,224 @@ impl FftPlanner {
         }
     }
 
-    /// Forward DFT of a real signal into `out` (cleared and refilled with
-    /// the non-redundant half spectrum: `n/2 + 1` bins for even `n`,
-    /// `(n+1)/2` for odd `n`). Reuses internal scratch, so repeated calls
-    /// of one size allocate nothing after the first.
-    pub fn fft_real_into(&mut self, input: &[f64], out: &mut Vec<Complex>) {
-        let n = input.len();
-        let mut buf = std::mem::take(&mut self.real_scratch);
-        buf.clear();
-        buf.extend(input.iter().map(|&x| Complex::from_real(x)));
-        self.transform(&mut buf, false);
-        let half = (n / 2 + 1).max(1).min(n.max(1));
-        out.clear();
-        out.extend_from_slice(&buf[..half.min(buf.len())]);
-        self.real_scratch = buf;
+    fn ensure_real(&mut self, n: usize) {
+        let plans_built = &mut self.plans_built;
+        self.real.entry(n).or_insert_with(|| {
+            *plans_built += 1;
+            RealPlan::new(n)
+        });
     }
 
-    /// Inverse of [`FftPlanner::fft_real_into`]: reconstructs a length-`n`
-    /// real signal from its half spectrum into `out` (cleared first).
+    /// Packs `input` (even length `n`) into an `n/2`-point complex signal
+    /// and transforms it, leaving `Z` in the returned scratch buffer.
+    fn rfft_pack_transform(&mut self, input: &[f64]) -> Vec<Complex> {
+        let m = input.len() / 2;
+        self.ensure_real(input.len());
+        let mut buf = std::mem::take(&mut self.real_scratch);
+        buf.clear();
+        buf.extend(input.chunks_exact(2).map(|p| Complex::new(p[0], p[1])));
+        debug_assert_eq!(buf.len(), m);
+        self.transform(&mut buf, false);
+        buf
+    }
+
+    /// `X[k]` of the packed transform: unscrambles bin `k` from the
+    /// half-size spectrum `z` using the cached split twiddle `tw[k]`.
+    #[inline]
+    fn real_split_bin(z: &[Complex], tw: &[Complex], m: usize, k: usize) -> Complex {
+        let a = z[k % m];
+        let b = z[(m - k) % m].conj();
+        let ze = (a + b).scale(0.5);
+        let d = a - b;
+        // Zo = d·(-i)/2.
+        let zo = Complex::new(d.im, -d.re).scale(0.5);
+        ze + tw[k] * zo
+    }
+
+    /// Forward DFT of a real signal into `out` (cleared and refilled with
+    /// the non-redundant half spectrum: `n/2 + 1` bins for even `n`,
+    /// `(n+1)/2` for odd `n`).
     ///
-    /// # Panics
-    ///
-    /// Panics if `half.len()` is inconsistent with `n` (must equal
-    /// `n/2 + 1` for even `n` or `(n+1)/2` for odd `n`).
-    pub fn ifft_real_into(&mut self, half: &[Complex], n: usize, out: &mut Vec<f64>) {
+    /// Even lengths run the packed path — one `n/2`-point complex
+    /// transform plus an O(n) split — so a real transform costs roughly
+    /// half a complex one. Odd lengths fall back to the full complex
+    /// engine (Bluestein). Reuses internal scratch, so repeated calls of
+    /// one size allocate nothing after the first.
+    pub fn rfft_into(&mut self, input: &[f64], out: &mut Vec<Complex>) {
+        let n = input.len();
         out.clear();
         if n == 0 {
             return;
         }
-        let expected = n / 2 + 1;
-        assert_eq!(
-            half.len(),
-            expected.min(n),
-            "half spectrum length inconsistent with signal length"
-        );
+        if n == 1 {
+            out.push(Complex::from_real(input[0]));
+            return;
+        }
+        if n % 2 != 0 {
+            // Odd length: full complex transform, emit the half spectrum.
+            let mut buf = std::mem::take(&mut self.real_scratch);
+            buf.clear();
+            buf.extend(input.iter().map(|&x| Complex::from_real(x)));
+            self.transform(&mut buf, false);
+            out.extend_from_slice(&buf[..n / 2 + 1]);
+            self.real_scratch = buf;
+            return;
+        }
+        let m = n / 2;
+        let z = self.rfft_pack_transform(input);
+        let tw = &self.real[&n].twiddle;
+        out.reserve(m + 1);
+        for k in 0..=m {
+            out.push(Self::real_split_bin(&z, tw, m, k));
+        }
+        self.real_scratch = z;
+    }
+
+    /// Like [`FftPlanner::rfft_into`], but scatters the half spectrum into
+    /// separate real/imaginary planes (the SoA spectrogram layout) instead
+    /// of an array-of-structs buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `re`/`im` are not exactly `n/2 + 1` bins long (`(n+1)/2`
+    /// for odd `n`).
+    pub fn rfft_split_into(&mut self, input: &[f64], re: &mut [f64], im: &mut [f64]) {
+        let n = input.len();
+        let bins = if n == 0 { 0 } else { n / 2 + 1 };
+        assert_eq!(re.len(), bins, "re plane size inconsistent with input length");
+        assert_eq!(im.len(), bins, "im plane size inconsistent with input length");
+        if n == 0 {
+            return;
+        }
+        if n == 1 {
+            re[0] = input[0];
+            im[0] = 0.0;
+            return;
+        }
+        if n % 2 != 0 {
+            let mut buf = std::mem::take(&mut self.real_scratch);
+            buf.clear();
+            buf.extend(input.iter().map(|&x| Complex::from_real(x)));
+            self.transform(&mut buf, false);
+            for (k, (r, i)) in re.iter_mut().zip(im.iter_mut()).enumerate() {
+                *r = buf[k].re;
+                *i = buf[k].im;
+            }
+            self.real_scratch = buf;
+            return;
+        }
+        let m = n / 2;
+        let z = self.rfft_pack_transform(input);
+        let tw = &self.real[&n].twiddle;
+        for (k, (r, i)) in re.iter_mut().zip(im.iter_mut()).enumerate() {
+            let x = Self::real_split_bin(&z, tw, m, k);
+            *r = x.re;
+            *i = x.im;
+        }
+        self.real_scratch = z;
+    }
+
+    /// Rebuilds the packed `n/2`-point spectrum `Z[k]` from a half
+    /// spectrum reader, transforms it back, and unpacks the interleaved
+    /// even/odd real samples into `out`. `half(k)` must return `X[k]` for
+    /// `k = 0..=n/2`.
+    fn irfft_unpack(&mut self, half: impl Fn(usize) -> Complex, n: usize, out: &mut Vec<f64>) {
+        let m = n / 2;
+        self.ensure_real(n);
+        let mut buf = std::mem::take(&mut self.real_scratch);
+        buf.clear();
+        buf.resize(m, Complex::ZERO);
+        {
+            let tw = &self.real[&n].twiddle;
+            for (k, slot) in buf.iter_mut().enumerate() {
+                let xa = half(k);
+                let xb = half(m - k).conj();
+                let ze = (xa + xb).scale(0.5);
+                let d = (xa - xb).scale(0.5);
+                let zo = d * tw[k].conj();
+                // Z[k] = Ze + i·Zo.
+                *slot = ze + Complex::new(-zo.im, zo.re);
+            }
+        }
+        self.transform(&mut buf, true);
+        let scale = 1.0 / m as f64;
+        out.reserve(n);
+        for z in &buf {
+            out.push(z.re * scale);
+            out.push(z.im * scale);
+        }
+        self.real_scratch = buf;
+    }
+
+    /// Odd-length inverse real transform: Hermitian mirror + full complex
+    /// inverse (Bluestein fallback of the packed path).
+    fn irfft_odd(&mut self, half: impl Fn(usize) -> Complex, n: usize, out: &mut Vec<f64>) {
+        let bins = n / 2 + 1;
         let mut buf = std::mem::take(&mut self.real_scratch);
         buf.clear();
         buf.resize(n, Complex::ZERO);
-        buf[..half.len()].copy_from_slice(half);
-        for k in half.len()..n {
+        for (k, slot) in buf.iter_mut().take(bins).enumerate() {
+            *slot = half(k);
+        }
+        for k in bins..n {
             buf[k] = buf[n - k].conj();
         }
         self.transform(&mut buf, true);
         let scale = 1.0 / n as f64;
         out.extend(buf.iter().map(|c| c.re * scale));
         self.real_scratch = buf;
+    }
+
+    /// Inverse of [`FftPlanner::rfft_into`]: reconstructs a length-`n`
+    /// real signal from its half spectrum into `out` (cleared first), via
+    /// one `n/2`-point inverse complex transform for even `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half.len()` is inconsistent with `n` (must equal
+    /// `n/2 + 1` for even `n` or `(n+1)/2` for odd `n`).
+    pub fn irfft_into(&mut self, half: &[Complex], n: usize, out: &mut Vec<f64>) {
+        out.clear();
+        if n == 0 {
+            return;
+        }
+        let expected = (n / 2 + 1).min(n);
+        assert_eq!(half.len(), expected, "half spectrum length inconsistent with signal length");
+        if n == 1 {
+            out.push(half[0].re);
+            return;
+        }
+        if n % 2 != 0 {
+            self.irfft_odd(|k| half[k], n, out);
+            return;
+        }
+        self.irfft_unpack(|k| half[k], n, out);
+    }
+
+    /// Like [`FftPlanner::irfft_into`], but gathers the half spectrum from
+    /// separate real/imaginary planes (the SoA spectrogram layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `re.len() != im.len()` or their length is inconsistent
+    /// with `n`.
+    pub fn irfft_split_into(&mut self, re: &[f64], im: &[f64], n: usize, out: &mut Vec<f64>) {
+        assert_eq!(re.len(), im.len(), "re/im plane length mismatch");
+        out.clear();
+        if n == 0 {
+            return;
+        }
+        let expected = (n / 2 + 1).min(n);
+        assert_eq!(re.len(), expected, "half spectrum length inconsistent with signal length");
+        if n == 1 {
+            out.push(re[0]);
+            return;
+        }
+        if n % 2 != 0 {
+            self.irfft_odd(|k| Complex::new(re[k], im[k]), n, out);
+            return;
+        }
+        self.irfft_unpack(|k| Complex::new(re[k], im[k]), n, out);
     }
 }
 
@@ -407,7 +613,8 @@ pub fn ifft(input: &[Complex]) -> Vec<Complex> {
 }
 
 /// Forward DFT of a real signal, returning only the non-redundant half
-/// (`N/2 + 1` bins for even `N`, `(N+1)/2` for odd `N`).
+/// (`N/2 + 1` bins for even `N`, `(N+1)/2` for odd `N`), via the packed
+/// real path ([`FftPlanner::rfft_into`]).
 ///
 /// # Example
 ///
@@ -420,12 +627,12 @@ pub fn ifft(input: &[Complex]) -> Vec<Complex> {
 /// ```
 pub fn fft_real(input: &[f64]) -> Vec<Complex> {
     let mut out = Vec::new();
-    with_thread_planner(|p| p.fft_real_into(input, &mut out));
+    with_thread_planner(|p| p.rfft_into(input, &mut out));
     out
 }
 
 /// Inverse of [`fft_real`]: reconstructs a length-`n` real signal from its
-/// half spectrum by mirroring Hermitian symmetry.
+/// half spectrum via the packed real path ([`FftPlanner::irfft_into`]).
 ///
 /// # Panics
 ///
@@ -433,7 +640,7 @@ pub fn fft_real(input: &[f64]) -> Vec<Complex> {
 /// for even `n` or `(n+1)/2` for odd `n`).
 pub fn ifft_real(half: &[Complex], n: usize) -> Vec<f64> {
     let mut out = Vec::new();
-    with_thread_planner(|p| p.ifft_real_into(half, n, &mut out));
+    with_thread_planner(|p| p.irfft_into(half, n, &mut out));
     out
 }
 
@@ -631,19 +838,20 @@ mod tests {
     }
 
     #[test]
-    fn planner_reuses_one_plan_for_repeated_size() {
+    fn planner_reuses_one_plan_set_for_repeated_size() {
         let mut planner = FftPlanner::new();
         let x: Vec<f64> = (0..512).map(|i| (i as f64 * 0.17).sin()).collect();
         let mut half = Vec::new();
         for _ in 0..64 {
-            planner.fft_real_into(&x, &mut half);
+            planner.rfft_into(&x, &mut half);
         }
-        assert_eq!(planner.plans_built(), 1, "same-size transforms must share one plan");
-        assert_eq!(planner.cached_sizes(), 1);
-        // A second size adds exactly one more radix-2 plan.
+        // One real-split table (512) + one half-size radix-2 plan (256).
+        assert_eq!(planner.plans_built(), 2, "same-size transforms must share one plan set");
+        assert_eq!(planner.cached_sizes(), 2);
+        // A second size adds one more split table + one more radix-2 plan.
         let y = vec![0.5f64; 1024];
-        planner.fft_real_into(&y, &mut half);
-        assert_eq!(planner.plans_built(), 2);
+        planner.rfft_into(&y, &mut half);
+        assert_eq!(planner.plans_built(), 4);
     }
 
     #[test]
@@ -668,14 +876,78 @@ mod tests {
         for &n in &[16usize, 37, 100, 101] {
             let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).cos() - 0.2).collect();
             let mut half = Vec::new();
-            planner.fft_real_into(&x, &mut half);
+            planner.rfft_into(&x, &mut half);
             assert_spec_close(&half, &fft_real(&x), 1e-9 * n as f64);
             let mut back = Vec::new();
-            planner.ifft_real_into(&half, n, &mut back);
+            planner.irfft_into(&half, n, &mut back);
             for (a, b) in x.iter().zip(&back) {
                 assert!((a - b).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn packed_rfft_matches_full_complex_transform() {
+        // Pow2, even non-pow2, odd, and prime lengths: the packed path
+        // must agree with promoting to a full complex DFT to ≤1e-9.
+        let mut planner = FftPlanner::new();
+        for &n in &[2usize, 4, 6, 8, 30, 64, 101, 127, 128, 256, 510] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.61).sin() + 0.2).collect();
+            let full: Vec<Complex> = {
+                let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::from_real(v)).collect();
+                planner.fft_inplace(&mut buf);
+                buf[..n / 2 + 1].to_vec()
+            };
+            let mut half = Vec::new();
+            planner.rfft_into(&x, &mut half);
+            assert_spec_close(&half, &full, 1e-9);
+        }
+    }
+
+    #[test]
+    fn split_plane_variants_match_aos_variants() {
+        let mut planner = FftPlanner::new();
+        for &n in &[8usize, 60, 101, 256] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.47).cos() - 0.1).collect();
+            let bins = n / 2 + 1;
+            let mut half = Vec::new();
+            planner.rfft_into(&x, &mut half);
+            let mut re = vec![0.0; bins];
+            let mut im = vec![0.0; bins];
+            planner.rfft_split_into(&x, &mut re, &mut im);
+            for k in 0..bins {
+                assert_eq!(half[k].re, re[k], "re bin {k} of n {n}");
+                assert_eq!(half[k].im, im[k], "im bin {k} of n {n}");
+            }
+            let mut back_aos = Vec::new();
+            planner.irfft_into(&half, n, &mut back_aos);
+            let mut back_soa = Vec::new();
+            planner.irfft_split_into(&re, &im, n, &mut back_soa);
+            assert_eq!(back_aos, back_soa);
+            for (a, b) in x.iter().zip(&back_aos) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_rfft_tiny_lengths() {
+        let mut planner = FftPlanner::new();
+        let mut half = Vec::new();
+        planner.rfft_into(&[], &mut half);
+        assert!(half.is_empty());
+        planner.rfft_into(&[3.5], &mut half);
+        assert_eq!(half.len(), 1);
+        assert_eq!(half[0], Complex::from_real(3.5));
+        let mut back = Vec::new();
+        planner.irfft_into(&half, 1, &mut back);
+        assert_eq!(back, vec![3.5]);
+        planner.rfft_into(&[1.0, -2.0], &mut half);
+        assert_eq!(half.len(), 2);
+        assert!((half[0].re - -1.0).abs() < 1e-12 && half[0].im.abs() < 1e-12);
+        assert!((half[1].re - 3.0).abs() < 1e-12 && half[1].im.abs() < 1e-12);
+        planner.irfft_into(&half, 2, &mut back);
+        assert!((back[0] - 1.0).abs() < 1e-12 && (back[1] - -2.0).abs() < 1e-12);
     }
 
     #[test]

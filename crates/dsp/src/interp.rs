@@ -31,6 +31,27 @@ fn locate(xs: &[f64], x: f64) -> usize {
     }
 }
 
+/// Like [`locate`], but starts from a cursor left by the previous query.
+/// Non-decreasing query sequences — the pattern aligner's resampling
+/// grids, which dominate the separation hot path — advance the cursor by
+/// short forward walks (O(knots + queries) overall) instead of one binary
+/// search per query; a backward jump falls back to [`locate`]. Always
+/// returns exactly the interval [`locate`] would.
+#[inline]
+fn locate_hinted(xs: &[f64], x: f64, hint: &mut usize) -> usize {
+    let last = xs.len() - 2;
+    let mut i = (*hint).min(last);
+    if x < xs[i] {
+        i = locate(xs, x);
+    } else {
+        while i < last && xs[i + 1] <= x {
+            i += 1;
+        }
+    }
+    *hint = i;
+    i
+}
+
 /// Piecewise-linear interpolation of `(xs, ys)` evaluated at each query
 /// point, extrapolating by clamping to the end values.
 ///
@@ -52,20 +73,20 @@ pub fn linear_interp(xs: &[f64], ys: &[f64], queries: &[f64]) -> Result<Vec<f64>
     if xs.len() == 1 {
         return Ok(vec![ys[0]; queries.len()]);
     }
-    Ok(queries
-        .iter()
-        .map(|&q| {
-            if q <= xs[0] {
-                ys[0]
-            } else if q >= xs[xs.len() - 1] {
-                ys[ys.len() - 1]
-            } else {
-                let i = locate(xs, q);
-                let t = (q - xs[i]) / (xs[i + 1] - xs[i]);
-                ys[i] + t * (ys[i + 1] - ys[i])
-            }
-        })
-        .collect())
+    let mut out = Vec::with_capacity(queries.len());
+    let mut hint = 0usize;
+    for &q in queries {
+        out.push(if q <= xs[0] {
+            ys[0]
+        } else if q >= xs[xs.len() - 1] {
+            ys[ys.len() - 1]
+        } else {
+            let i = locate_hinted(xs, q, &mut hint);
+            let t = (q - xs[i]) / (xs[i + 1] - xs[i]);
+            ys[i] + t * (ys[i + 1] - ys[i])
+        });
+    }
+    Ok(out)
 }
 
 /// Natural cubic spline through `(xs, ys)`.
@@ -215,7 +236,12 @@ impl Pchip {
         if x >= self.xs[n - 1] {
             return self.ys[n - 1];
         }
-        let i = locate(&self.xs, x);
+        self.eval_interval(x, locate(&self.xs, x))
+    }
+
+    /// Hermite evaluation inside knot interval `i`.
+    #[inline]
+    fn eval_interval(&self, x: f64, i: usize) -> f64 {
         let h = self.xs[i + 1] - self.xs[i];
         let t = (x - self.xs[i]) / h;
         let t2 = t * t;
@@ -227,9 +253,35 @@ impl Pchip {
         h00 * self.ys[i] + h10 * h * self.d[i] + h01 * self.ys[i + 1] + h11 * h * self.d[i + 1]
     }
 
-    /// Evaluates the interpolant at many points.
+    /// Evaluates the interpolant at many points. Non-decreasing query
+    /// sequences (the aligner's resampling grids) are evaluated with a
+    /// forward-walking cursor instead of one binary search per query.
     pub fn eval_many(&self, queries: &[f64]) -> Vec<f64> {
-        queries.iter().map(|&q| self.eval(q)).collect()
+        let mut out = Vec::new();
+        self.eval_many_into(queries, &mut out);
+        out
+    }
+
+    /// Like [`Pchip::eval_many`], writing into an existing buffer (cleared
+    /// first) so steady-state callers re-allocate nothing.
+    pub fn eval_many_into(&self, queries: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(queries.len());
+        let n = self.xs.len();
+        if n == 1 {
+            out.extend(queries.iter().map(|_| self.ys[0]));
+            return;
+        }
+        let mut hint = 0usize;
+        for &q in queries {
+            out.push(if q <= self.xs[0] {
+                self.ys[0]
+            } else if q >= self.xs[n - 1] {
+                self.ys[n - 1]
+            } else {
+                self.eval_interval(q, locate_hinted(&self.xs, q, &mut hint))
+            });
+        }
     }
 }
 
@@ -341,6 +393,31 @@ mod tests {
         let p = Pchip::new(&[0.0, 2.0], &[1.0, 5.0]).unwrap();
         assert!((s.eval(1.0) - 3.0).abs() < 1e-12);
         assert!((p.eval(1.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hinted_lookup_matches_per_query_eval() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 * 0.37).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| (x * 0.9).sin()).collect();
+        let p = Pchip::new(&xs, &ys).unwrap();
+        let fwd: Vec<f64> = (0..300).map(|i| i as f64 * 0.07 - 0.5).collect();
+        let mut rev = fwd.clone();
+        rev.reverse();
+        let mixed: Vec<f64> = fwd.iter().zip(&rev).flat_map(|(&a, &b)| [a, b]).collect();
+        for qs in [&fwd, &rev, &mixed] {
+            // The cursor walk must agree bit-for-bit with per-query
+            // binary-search evaluation, in any query order.
+            for (q, v) in qs.iter().zip(&p.eval_many(qs)) {
+                assert_eq!(*v, p.eval(*q), "pchip at {q}");
+            }
+            for (q, v) in qs.iter().zip(&linear_interp(&xs, &ys, qs).unwrap()) {
+                assert_eq!(*v, linear_interp(&xs, &ys, &[*q]).unwrap()[0], "linear at {q}");
+            }
+        }
+        // Reused output buffer path.
+        let mut out = Vec::new();
+        p.eval_many_into(&fwd, &mut out);
+        assert_eq!(out, p.eval_many(&fwd));
     }
 
     #[test]

@@ -4,8 +4,12 @@
 //! processing lives here, implemented from scratch:
 //!
 //! * [`Complex`] arithmetic and an FFT stack ([`fft`]) combining an iterative
-//!   radix-2 transform with Bluestein's algorithm for arbitrary lengths.
-//! * Short-time Fourier analysis ([`stft`]) with COLA-correct inversion.
+//!   radix-2 transform, Bluestein's algorithm for arbitrary lengths, and a
+//!   packed real transform (an N-point real DFT via one N/2-point complex
+//!   FFT) behind one plan-cached [`fft::FftPlanner`].
+//! * Short-time Fourier analysis ([`stft`]) with COLA-correct inversion,
+//!   reading and writing the flat SoA [`Spectrogram`] workspace (contiguous
+//!   `re`/`im` planes, one half-spectrum slice per frame).
 //! * Window functions ([`window`]).
 //! * FIR / IIR filtering ([`filter`]): windowed-sinc band-pass design and
 //!   Butterworth biquads with zero-phase application.

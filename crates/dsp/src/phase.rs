@@ -6,8 +6,6 @@
 //! respects the circular topology of angles — [`interpolate_cyclic`]
 //! implements exactly that.
 
-use crate::interp::linear_interp;
-
 /// Unwraps a wrapped phase sequence so consecutive differences stay within
 /// `(-π, π]`.
 ///
@@ -76,20 +74,61 @@ pub fn cumulative_phase(freq_track: &[f64], fs: f64) -> Vec<f64> {
 ///
 /// Panics if `phase.len() != valid.len()`.
 pub fn interpolate_cyclic(phase: &[f64], valid: &[bool]) -> Vec<f64> {
+    let mut out = Vec::new();
+    interpolate_cyclic_into(phase, valid, &mut out);
+    out
+}
+
+/// Like [`interpolate_cyclic`], writing into an existing buffer (cleared
+/// first) and allocating nothing: the hot path walks straight from one
+/// valid anchor to the next, interpolating the unit phasor across each
+/// gap and clamping beyond the outermost anchors.
+///
+/// # Panics
+///
+/// Panics if `phase.len() != valid.len()`.
+pub fn interpolate_cyclic_into(phase: &[f64], valid: &[bool], out: &mut Vec<f64>) {
     assert_eq!(phase.len(), valid.len(), "phase/valid length mismatch");
     let n = phase.len();
-    let idx: Vec<usize> = (0..n).filter(|&i| valid[i]).collect();
-    if idx.len() < 2 || idx.len() == n {
-        return phase.to_vec();
+    out.clear();
+    out.extend_from_slice(phase);
+    let n_valid = valid.iter().filter(|&&v| v).count();
+    if n_valid < 2 || n_valid == n {
+        return;
     }
-    let xs: Vec<f64> = idx.iter().map(|&i| i as f64).collect();
-    let cos_v: Vec<f64> = idx.iter().map(|&i| phase[i].cos()).collect();
-    let sin_v: Vec<f64> = idx.iter().map(|&i| phase[i].sin()).collect();
-    let queries: Vec<f64> = (0..n).map(|i| i as f64).collect();
-    // xs strictly increasing by construction; unwrap is safe.
-    let ci = linear_interp(&xs, &cos_v, &queries).expect("valid interpolation inputs");
-    let si = linear_interp(&xs, &sin_v, &queries).expect("valid interpolation inputs");
-    (0..n).map(|i| if valid[i] { phase[i] } else { si[i].atan2(ci[i]) }).collect()
+    // All valid indices exist (n_valid >= 2), so these unwraps are safe.
+    let first = valid.iter().position(|&v| v).expect("has valid samples");
+    let last = valid.iter().rposition(|&v| v).expect("has valid samples");
+    // Outside the anchored range the phasor clamps to the end anchors;
+    // re-deriving through atan2 wraps the anchor angle into (-π, π].
+    let lead = phase[first].sin().atan2(phase[first].cos());
+    for slot in &mut out[..first] {
+        *slot = lead;
+    }
+    let trail = phase[last].sin().atan2(phase[last].cos());
+    for slot in &mut out[last + 1..n] {
+        *slot = trail;
+    }
+    // Interior gaps: linear interpolation of cos/sin between the two
+    // bracketing anchors, angle re-derived per cell.
+    let mut a = first;
+    for b in first + 1..=last {
+        if !valid[b] {
+            continue;
+        }
+        if b > a + 1 {
+            let (ca, sa) = (phase[a].cos(), phase[a].sin());
+            let (cb, sb) = (phase[b].cos(), phase[b].sin());
+            let span = b as f64 - a as f64;
+            for (i, slot) in out[a + 1..b].iter_mut().enumerate() {
+                let t = ((a + 1 + i) as f64 - a as f64) / span;
+                let ci = ca + t * (cb - ca);
+                let si = sa + t * (sb - sa);
+                *slot = si.atan2(ci);
+            }
+        }
+        a = b;
+    }
 }
 
 /// Wraps an angle into `(-π, π]`.

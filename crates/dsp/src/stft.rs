@@ -130,36 +130,96 @@ impl StftConfig {
     }
 }
 
-/// A complex spectrogram: `bins × frames` STFT coefficients plus the
-/// configuration that produced it.
+/// A complex spectrogram stored as a flat structure-of-arrays workspace:
+/// two contiguous `f64` planes (`re`, `im`) in frame-major order
+/// (`plane[frame * bins + bin]`), plus the configuration that produced it.
 ///
-/// Data is stored bin-major (`data[bin * frames + frame]`), matching the
-/// `[freq, time]` layout used by the neural in-painting stage.
+/// Frame-major SoA is the hot-path layout: each STFT frame's half
+/// spectrum is one contiguous slice per plane, so the packed real FFT
+/// analyzes and resynthesizes directly into the workspace with no
+/// per-frame allocation or strided scatter, and the whole workspace is
+/// reused across rounds/chunks (capacity survives
+/// [`StftEngine::stft_into`] re-analysis). Stage images that the neural
+/// in-painter consumes (magnitude, masks) remain bin-major `[freq, time]`;
+/// [`Spectrogram::magnitude_into`] and
+/// [`Spectrogram::set_magnitude_phase`] transpose at the boundary.
+///
+/// # Example
+///
+/// ```
+/// use dhf_dsp::stft::{stft, StftConfig};
+///
+/// let cfg = StftConfig::new(64, 16, 16.0)?;
+/// let x: Vec<f64> = (0..512).map(|i| (i as f64 * 0.3).sin()).collect();
+/// let spec = stft(&x, &cfg)?;
+/// assert_eq!(spec.bins(), 33);
+/// // Each frame's half spectrum is one contiguous slice per plane.
+/// let (re, im) = spec.frame(0);
+/// assert_eq!(re.len(), spec.bins());
+/// assert_eq!(im.len(), spec.bins());
+/// // (bin, frame) access agrees with the planes.
+/// assert_eq!(spec.at(3, 0).re, re[3]);
+/// # Ok::<(), dhf_dsp::DspError>(())
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Spectrogram {
     config: StftConfig,
     bins: usize,
     frames: usize,
-    data: Vec<Complex>,
+    /// Real plane, frame-major (`re[frame * bins + bin]`).
+    re: Vec<f64>,
+    /// Imaginary plane, frame-major.
+    im: Vec<f64>,
     /// Original signal length, kept so the inverse can trim padding.
     signal_len: usize,
 }
 
 impl Spectrogram {
-    /// Builds a spectrogram from raw parts.
+    /// Creates an empty reusable workspace. Shape, configuration and data
+    /// are fully overwritten by the first [`StftEngine::stft_into`]; until
+    /// then the spectrogram has zero frames.
+    pub fn workspace() -> Self {
+        let placeholder = StftConfig::new(128, 32, 16.0).expect("valid placeholder layout");
+        Spectrogram {
+            config: placeholder,
+            bins: placeholder.bins(),
+            frames: 0,
+            re: Vec::new(),
+            im: Vec::new(),
+            signal_len: 0,
+        }
+    }
+
+    /// Builds a spectrogram from raw SoA planes (frame-major).
     ///
     /// # Panics
     ///
-    /// Panics if `data.len() != bins * frames` or `bins != config.bins()`.
+    /// Panics if the planes are not both `config.bins() * frames` long.
     pub fn from_parts(
         config: StftConfig,
         frames: usize,
-        data: Vec<Complex>,
+        re: Vec<f64>,
+        im: Vec<f64>,
         signal_len: usize,
     ) -> Self {
         let bins = config.bins();
-        assert_eq!(data.len(), bins * frames, "data length mismatch");
-        Spectrogram { config, bins, frames, data, signal_len }
+        assert_eq!(re.len(), bins * frames, "re plane length mismatch");
+        assert_eq!(im.len(), bins * frames, "im plane length mismatch");
+        Spectrogram { config, bins, frames, re, im, signal_len }
+    }
+
+    /// Resets configuration and shape, resizing the planes (reusing their
+    /// capacity) and zeroing them.
+    pub(crate) fn reset_layout(&mut self, config: StftConfig, frames: usize, signal_len: usize) {
+        self.config = config;
+        self.bins = config.bins();
+        self.frames = frames;
+        self.signal_len = signal_len;
+        let cells = self.bins * frames;
+        self.re.clear();
+        self.re.resize(cells, 0.0);
+        self.im.clear();
+        self.im.resize(cells, 0.0);
     }
 
     /// The analysis configuration.
@@ -182,114 +242,100 @@ impl Spectrogram {
         self.signal_len
     }
 
-    /// Complex coefficient at (`bin`, `frame`).
+    /// Complex coefficient at (`bin`, `frame`), assembled from the planes.
     #[inline]
     pub fn at(&self, bin: usize, frame: usize) -> Complex {
-        self.data[bin * self.frames + frame]
+        let i = frame * self.bins + bin;
+        Complex::new(self.re[i], self.im[i])
     }
 
-    /// Mutable access to the coefficient at (`bin`, `frame`).
+    /// The whole real plane, frame-major.
+    pub fn re_plane(&self) -> &[f64] {
+        &self.re
+    }
+
+    /// The whole imaginary plane, frame-major.
+    pub fn im_plane(&self) -> &[f64] {
+        &self.im
+    }
+
+    /// One frame's half spectrum as `(re, im)` slice views.
     #[inline]
-    pub fn at_mut(&mut self, bin: usize, frame: usize) -> &mut Complex {
-        &mut self.data[bin * self.frames + frame]
+    pub fn frame(&self, frame: usize) -> (&[f64], &[f64]) {
+        let lo = frame * self.bins;
+        let hi = lo + self.bins;
+        (&self.re[lo..hi], &self.im[lo..hi])
     }
 
-    /// Borrow of the underlying bin-major coefficient buffer.
-    pub fn data(&self) -> &[Complex] {
-        &self.data
+    /// Mutable `(re, im)` slice views of one frame's half spectrum.
+    #[inline]
+    pub fn frame_mut(&mut self, frame: usize) -> (&mut [f64], &mut [f64]) {
+        let lo = frame * self.bins;
+        let hi = lo + self.bins;
+        (&mut self.re[lo..hi], &mut self.im[lo..hi])
     }
 
-    /// Mutable borrow of the underlying bin-major coefficient buffer.
-    pub fn data_mut(&mut self) -> &mut [Complex] {
-        &mut self.data
-    }
-
-    /// Magnitude image, bin-major (`bins × frames`).
+    /// Magnitude image, bin-major (`bins × frames`) — the `[freq, time]`
+    /// layout the in-painting stage consumes.
     pub fn magnitude(&self) -> Vec<f64> {
-        self.data.iter().map(|c| c.abs()).collect()
+        let mut out = Vec::new();
+        self.magnitude_into(&mut out);
+        out
     }
 
-    /// Phase image in radians, bin-major.
-    pub fn phase(&self) -> Vec<f64> {
-        self.data.iter().map(|c| c.arg()).collect()
+    /// Writes the bin-major magnitude image into `out` (cleared first),
+    /// reusing its capacity.
+    pub fn magnitude_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.bins * self.frames, 0.0);
+        for m in 0..self.frames {
+            let row = m * self.bins;
+            for b in 0..self.bins {
+                let i = row + b;
+                out[b * self.frames + m] = self.re[i].hypot(self.im[i]);
+            }
+        }
     }
 
     /// Total energy `Σ|X|²` of the spectrogram.
     pub fn energy(&self) -> f64 {
-        self.data.iter().map(|c| c.norm_sqr()).sum()
+        self.re.iter().zip(&self.im).map(|(r, i)| r * r + i * i).sum()
     }
 
-    /// Replaces magnitude while keeping each coefficient's phase.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `magnitude.len() != bins * frames`.
-    pub fn with_magnitude(&self, magnitude: &[f64]) -> Spectrogram {
-        assert_eq!(magnitude.len(), self.data.len(), "magnitude size mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(magnitude)
-            .map(|(c, &m)| {
-                let a = c.abs();
-                if a < 1e-30 {
-                    Complex::from_real(m)
-                } else {
-                    c.scale(m / a)
-                }
-            })
-            .collect();
-        Spectrogram { data, ..self.clone() }
-    }
-
-    /// Builds a complex spectrogram from separate magnitude and phase images.
-    ///
-    /// # Panics
-    ///
-    /// Panics if image sizes disagree with this spectrogram's shape.
-    pub fn with_magnitude_phase(&self, magnitude: &[f64], phase: &[f64]) -> Spectrogram {
-        assert_eq!(magnitude.len(), self.data.len());
-        assert_eq!(phase.len(), self.data.len());
-        let data = magnitude.iter().zip(phase).map(|(&m, &p)| Complex::from_polar(m, p)).collect();
-        Spectrogram { data, ..self.clone() }
-    }
-
-    /// Applies a real-valued gain mask elementwise (bin-major layout).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `mask.len() != bins * frames`.
-    pub fn apply_mask(&self, mask: &[f64]) -> Spectrogram {
-        assert_eq!(mask.len(), self.data.len(), "mask size mismatch");
-        let data = self.data.iter().zip(mask).map(|(c, &m)| c.scale(m)).collect();
-        Spectrogram { data, ..self.clone() }
-    }
-
-    /// In-place variant of [`Spectrogram::with_magnitude_phase`]: rebuilds
-    /// every coefficient from the given magnitude and phase images without
-    /// allocating a new spectrogram.
+    /// Rebuilds every coefficient in place from bin-major magnitude and
+    /// phase images (no allocation).
     ///
     /// # Panics
     ///
     /// Panics if image sizes disagree with this spectrogram's shape.
     pub fn set_magnitude_phase(&mut self, magnitude: &[f64], phase: &[f64]) {
-        assert_eq!(magnitude.len(), self.data.len(), "magnitude size mismatch");
-        assert_eq!(phase.len(), self.data.len(), "phase size mismatch");
-        for ((c, &m), &p) in self.data.iter_mut().zip(magnitude).zip(phase) {
-            *c = Complex::from_polar(m, p);
+        assert_eq!(magnitude.len(), self.re.len(), "magnitude size mismatch");
+        assert_eq!(phase.len(), self.re.len(), "phase size mismatch");
+        for m in 0..self.frames {
+            let row = m * self.bins;
+            for b in 0..self.bins {
+                let src = b * self.frames + m;
+                let (mag, ph) = (magnitude[src], phase[src]);
+                self.re[row + b] = mag * ph.cos();
+                self.im[row + b] = mag * ph.sin();
+            }
         }
     }
 
-    /// In-place variant of [`Spectrogram::apply_mask`]: scales each
-    /// coefficient by the bin-major gain image.
+    /// Scales each coefficient in place by a bin-major gain image.
     ///
     /// # Panics
     ///
     /// Panics if `mask.len() != bins * frames`.
     pub fn apply_mask_in_place(&mut self, mask: &[f64]) {
-        assert_eq!(mask.len(), self.data.len(), "mask size mismatch");
-        for (c, &m) in self.data.iter_mut().zip(mask) {
-            *c = c.scale(m);
+        assert_eq!(mask.len(), self.re.len(), "mask size mismatch");
+        for m in 0..self.frames {
+            let row = m * self.bins;
+            for b in 0..self.bins {
+                let g = mask[b * self.frames + m];
+                self.re[row + b] *= g;
+                self.im[row + b] *= g;
+            }
         }
     }
 
@@ -301,8 +347,11 @@ impl Spectrogram {
     /// Panics if `bin >= bins`.
     pub fn scale_bin(&mut self, bin: usize, gain: f64) {
         assert!(bin < self.bins, "bin out of range");
-        for c in &mut self.data[bin * self.frames..(bin + 1) * self.frames] {
-            *c = c.scale(gain);
+        let mut i = bin;
+        for _ in 0..self.frames {
+            self.re[i] *= gain;
+            self.im[i] *= gain;
+            i += self.bins;
         }
     }
 }
@@ -322,7 +371,6 @@ pub struct StftEngine {
     window: Vec<f64>,
     window_key: Option<(WindowKind, usize)>,
     frame: Vec<f64>,
-    half: Vec<Complex>,
     norm: Vec<f64>,
 }
 
@@ -351,21 +399,17 @@ impl StftEngine {
     ///
     /// Same conditions as [`stft`].
     pub fn stft(&mut self, signal: &[f64], config: &StftConfig) -> Result<Spectrogram> {
-        let mut spec = Spectrogram {
-            config: *config,
-            bins: config.bins(),
-            frames: 0,
-            data: Vec::new(),
-            signal_len: 0,
-        };
+        let mut spec = Spectrogram::workspace();
         self.stft_into(signal, config, &mut spec)?;
         Ok(spec)
     }
 
-    /// Computes the STFT of `signal` into an existing spectrogram, reusing
-    /// its coefficient buffer (resized as needed) as well as the engine's
-    /// scratch. After the call `spec` is fully overwritten: configuration,
-    /// shape and data all describe the new analysis.
+    /// Computes the STFT of `signal` into an existing spectrogram
+    /// workspace, reusing its SoA planes (resized as needed) as well as
+    /// the engine's scratch. Each frame's packed real FFT writes its half
+    /// spectrum directly into the frame's contiguous plane slices. After
+    /// the call `spec` is fully overwritten: configuration, shape and data
+    /// all describe the new analysis.
     ///
     /// # Errors
     ///
@@ -384,16 +428,9 @@ impl StftEngine {
             });
         }
         let frames = config.frames_for(signal.len());
-        let bins = config.bins();
         self.ensure_window(config.window_kind(), w);
-        spec.config = *config;
-        spec.bins = bins;
-        spec.frames = frames;
-        spec.signal_len = signal.len();
-        spec.data.clear();
-        spec.data.resize(bins * frames, Complex::ZERO);
+        spec.reset_layout(*config, frames, signal.len());
         let mut frame = std::mem::take(&mut self.frame);
-        let mut half = std::mem::take(&mut self.half);
         frame.clear();
         frame.resize(w, 0.0);
         for m in 0..frames {
@@ -401,13 +438,10 @@ impl StftEngine {
             for (i, f) in frame.iter_mut().enumerate() {
                 *f = signal[start + i] * self.window[i];
             }
-            self.planner.fft_real_into(&frame, &mut half);
-            for (k, &c) in half.iter().enumerate() {
-                spec.data[k * frames + m] = c;
-            }
+            let (re, im) = spec.frame_mut(m);
+            self.planner.rfft_split_into(&frame, re, im);
         }
         self.frame = frame;
-        self.half = half;
         Ok(())
     }
 
@@ -420,7 +454,9 @@ impl StftEngine {
     }
 
     /// Inverse STFT into an existing output buffer (cleared and refilled),
-    /// reusing the engine's window/normalization scratch.
+    /// reusing the engine's window/normalization scratch. Each frame's
+    /// half spectrum is read straight from the workspace's contiguous
+    /// plane slices.
     pub fn istft_into(&mut self, spec: &Spectrogram, out: &mut Vec<f64>) {
         let config = spec.config();
         let w = config.window_len();
@@ -432,17 +468,12 @@ impl StftEngine {
         out.clear();
         out.resize(n, 0.0);
         let mut norm = std::mem::take(&mut self.norm);
-        let mut half = std::mem::take(&mut self.half);
         let mut frame = std::mem::take(&mut self.frame);
         norm.clear();
         norm.resize(n, 0.0);
-        half.clear();
-        half.resize(spec.bins(), Complex::ZERO);
         for m in 0..frames {
-            for (k, h) in half.iter_mut().enumerate() {
-                *h = spec.at(k, m);
-            }
-            self.planner.ifft_real_into(&half, w, &mut frame);
+            let (re, im) = spec.frame(m);
+            self.planner.irfft_split_into(re, im, w, &mut frame);
             let start = m * hop;
             for i in 0..w {
                 out[start + i] += frame[i] * self.window[i];
@@ -464,7 +495,6 @@ impl StftEngine {
         }
         out.resize(spec.signal_len(), 0.0);
         self.norm = norm;
-        self.half = half;
         self.frame = frame;
     }
 }
@@ -581,9 +611,23 @@ mod tests {
         let cfg = StftConfig::new(64, 16, 16.0).unwrap();
         let x = chirp(512, 16.0);
         let s = stft(&x, &cfg).unwrap();
-        let rebuilt = s.with_magnitude_phase(&s.magnitude(), &s.phase());
-        for (a, b) in s.data().iter().zip(rebuilt.data()) {
-            assert!((*a - *b).abs() < 1e-9);
+        let mag = s.magnitude();
+        let phase: Vec<f64> = {
+            let (bins, frames) = (s.bins(), s.frames());
+            let mut out = vec![0.0; bins * frames];
+            for b in 0..bins {
+                for m in 0..frames {
+                    out[b * frames + m] = s.at(b, m).arg();
+                }
+            }
+            out
+        };
+        let mut rebuilt = s.clone();
+        rebuilt.set_magnitude_phase(&mag, &phase);
+        for b in 0..s.bins() {
+            for m in 0..s.frames() {
+                assert!((s.at(b, m) - rebuilt.at(b, m)).abs() < 1e-9);
+            }
         }
     }
 
@@ -596,7 +640,8 @@ mod tests {
         for m in 0..s.frames() {
             mask[3 * s.frames() + m] = 0.0;
         }
-        let masked = s.apply_mask(&mask);
+        let mut masked = s.clone();
+        masked.apply_mask_in_place(&mask);
         for m in 0..s.frames() {
             assert_eq!(masked.at(3, m), Complex::ZERO);
             assert_eq!(masked.at(4, m), s.at(4, m));
@@ -612,20 +657,22 @@ mod tests {
     }
 
     #[test]
-    fn engine_matches_free_functions_and_caches_one_plan() {
+    fn engine_matches_free_functions_and_caches_one_plan_set() {
         let cfg = StftConfig::new(128, 32, 16.0).unwrap();
         let x = chirp(1024, 16.0);
         let mut engine = StftEngine::new();
         let mut spec = engine.stft(&x, &cfg).unwrap();
         let free = stft(&x, &cfg).unwrap();
-        assert_eq!(spec.data(), free.data());
-        // Re-analyzing many signals of the same layout reuses one plan and
-        // the same coefficient buffer.
+        assert_eq!(spec.re_plane(), free.re_plane());
+        assert_eq!(spec.im_plane(), free.im_plane());
+        // Re-analyzing many signals of the same layout reuses one plan set
+        // and the same SoA planes.
         for round in 0..8 {
             let y: Vec<f64> = x.iter().map(|&v| v * (round + 1) as f64).collect();
             engine.stft_into(&y, &cfg, &mut spec).unwrap();
         }
-        assert_eq!(engine.planner().plans_built(), 1, "same-size frames must share one plan");
+        // One real-split table (128) + one half-size radix-2 plan (64).
+        assert_eq!(engine.planner().plans_built(), 2, "same-size frames must share one plan set");
         // Inverse through the engine matches the free function.
         let mut out = Vec::new();
         engine.istft_into(&spec, &mut out);
@@ -633,21 +680,41 @@ mod tests {
     }
 
     #[test]
-    fn in_place_mutators_match_allocating_variants() {
+    fn in_place_mutators_and_frame_views_are_consistent() {
         let cfg = StftConfig::new(64, 16, 16.0).unwrap();
         let x = chirp(512, 16.0);
         let s = stft(&x, &cfg).unwrap();
         let mag = s.magnitude();
-        let phase = s.phase();
         let mask: Vec<f64> =
             (0..s.bins() * s.frames()).map(|i| if i % 3 == 0 { 0.0 } else { 0.5 }).collect();
 
-        let rebuilt = s.with_magnitude_phase(&mag, &phase).apply_mask(&mask);
-        let mut in_place = s.clone();
-        in_place.set_magnitude_phase(&mag, &phase);
-        in_place.apply_mask_in_place(&mask);
-        for (a, b) in rebuilt.data().iter().zip(in_place.data()) {
-            assert!((*a - *b).abs() < 1e-12);
+        // Frame views agree with (bin, frame) access.
+        for m in 0..s.frames() {
+            let (re, im) = s.frame(m);
+            for b in 0..s.bins() {
+                assert_eq!(s.at(b, m), Complex::new(re[b], im[b]));
+            }
+        }
+
+        // Masking in place matches per-cell scaling.
+        let mut masked = s.clone();
+        masked.apply_mask_in_place(&mask);
+        for b in 0..s.bins() {
+            for m in 0..s.frames() {
+                let expect = s.at(b, m).scale(mask[b * s.frames() + m]);
+                assert!((masked.at(b, m) - expect).abs() < 1e-15);
+            }
+        }
+
+        // Rebuilding from the magnitude image with zero phase zeroes the
+        // imaginary plane and leaves magnitudes intact.
+        let mut rebuilt = s.clone();
+        rebuilt.set_magnitude_phase(&mag, &vec![0.0; mag.len()]);
+        assert!(rebuilt.im_plane().iter().all(|&v| v == 0.0));
+        for b in 0..s.bins() {
+            for m in 0..s.frames() {
+                assert!((rebuilt.at(b, m).re - mag[b * s.frames() + m]).abs() < 1e-12);
+            }
         }
 
         let mut scaled = s.clone();
@@ -667,8 +734,13 @@ mod tests {
         let half_mask: Vec<f64> =
             (0..s.bins() * s.frames()).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
         let inv_mask: Vec<f64> = half_mask.iter().map(|&m| 1.0 - m).collect();
-        let e1 = s.apply_mask(&half_mask).energy();
-        let e2 = s.apply_mask(&inv_mask).energy();
+        let masked = |mask: &[f64]| {
+            let mut sp = s.clone();
+            sp.apply_mask_in_place(mask);
+            sp.energy()
+        };
+        let e1 = masked(&half_mask);
+        let e2 = masked(&inv_mask);
         assert!((e1 + e2 - full).abs() < 1e-6 * full.max(1.0));
     }
 }

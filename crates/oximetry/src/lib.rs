@@ -35,8 +35,8 @@
 pub mod pipeline;
 
 pub use pipeline::{
-    ema_detrend, estimate_spo2_trend, spo2_trend_from_components, OximetryConfig, OximetryError,
-    OximetryFlush, Spo2Sample, Spo2Trend, StreamingOximeter,
+    ema_detrend, estimate_spo2_trend, estimate_spo2_trend_in, spo2_trend_from_components,
+    OximetryConfig, OximetryError, OximetryFlush, Spo2Sample, Spo2Trend, StreamingOximeter,
 };
 
 use dhf_dsp::filter::detrend;

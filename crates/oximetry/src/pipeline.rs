@@ -317,6 +317,27 @@ pub fn estimate_spo2_trend(
     dhf: &DhfConfig,
     cfg: &OximetryConfig,
 ) -> Result<Spo2Trend, OximetryError> {
+    let mut ctx = RoundContext::new(dhf);
+    ctx.set_collect_reports(false);
+    estimate_spo2_trend_in(&mut ctx, mixed, fs, f0_tracks, cfg)
+}
+
+/// Like [`estimate_spo2_trend`], but running through a caller-owned
+/// [`RoundContext`] so fleet-style callers (benches, batch scoring over
+/// many recordings) keep one spectral workspace and FFT plan cache warm
+/// across recordings, exactly as the λ2 channel already reuses λ1's
+/// within one call.
+///
+/// # Errors
+///
+/// Same conditions as [`estimate_spo2_trend`].
+pub fn estimate_spo2_trend_in(
+    ctx: &mut RoundContext,
+    mixed: [&[f64]; 2],
+    fs: f64,
+    f0_tracks: &[Vec<f64>],
+    cfg: &OximetryConfig,
+) -> Result<Spo2Trend, OximetryError> {
     if mixed[0].len() != mixed[1].len() {
         return Err(OximetryError::ChannelLengthMismatch {
             lambda1: mixed[0].len(),
@@ -330,8 +351,6 @@ pub fn estimate_spo2_trend(
         });
     }
     let alpha = cfg.dc_alpha(fs);
-    let mut ctx = RoundContext::new(dhf);
-    ctx.set_collect_reports(false);
     let mut fetal_estimates: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
     for (li, channel) in mixed.iter().enumerate() {
         let pulsatile = ema_detrend(channel, alpha, &mut None);

@@ -60,6 +60,17 @@ impl Engine {
             Engine::Oximetry(_) => SessionKind::Oximetry,
         }
     }
+
+    /// FFT plans built by the engine's separation context(s) over the
+    /// session's lifetime — constant after the first chunk of a steady
+    /// stream, since every later chunk reuses the cached plans and the
+    /// session's SoA spectrogram workspace.
+    fn fft_plans_built(&self) -> usize {
+        match self {
+            Engine::Separation(sep) => sep.fft_plans_built(),
+            Engine::Oximetry(ox) => ox.fft_plans_built(),
+        }
+    }
 }
 
 /// Lowers a worker-side oximetry failure to the mailbox's sticky
@@ -362,5 +373,7 @@ fn close_session(
     // close-time alike).
     let unflushed = ws.accepted.saturating_sub(ws.emitted);
     counters.dropped_samples.fetch_add(unflushed as u64, Ordering::Relaxed);
+    // Book the session's plan-cache footprint into the shard telemetry.
+    counters.plans_built.fetch_add(ws.engine.fft_plans_built() as u64, Ordering::Relaxed);
     CloseOutcome { blocks, spo2, dropped_samples: ws.skipped + unflushed, error }
 }

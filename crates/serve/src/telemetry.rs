@@ -19,6 +19,7 @@ pub(crate) struct ShardCounters {
     pub(crate) busy_rejections: AtomicU64,
     pub(crate) dropped_samples: AtomicU64,
     pub(crate) spo2_updates: AtomicU64,
+    pub(crate) plans_built: AtomicU64,
     pub(crate) latency: Mutex<LatencyHistogram>,
     pub(crate) spo2: Mutex<Spo2Stats>,
 }
@@ -45,6 +46,7 @@ impl ShardCounters {
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             dropped_samples: self.dropped_samples.load(Ordering::Relaxed),
             spo2_updates: self.spo2_updates.load(Ordering::Relaxed),
+            plans_built: self.plans_built.load(Ordering::Relaxed),
             samples_per_sec: if secs > 0.0 { samples_out as f64 / secs } else { 0.0 },
             latency: self.latency.lock().unwrap().clone(),
             spo2: self.spo2.lock().unwrap().clone(),
@@ -162,6 +164,12 @@ pub struct ShardSnapshot {
     pub dropped_samples: u64,
     /// SpO2 windows emitted by this shard's oximetry sessions.
     pub spo2_updates: u64,
+    /// FFT plans built by this shard's session engines, booked when each
+    /// session closes. A healthy fleet of same-shape sessions keeps this
+    /// near a small constant per session: every steady-state chunk reuses
+    /// the plans (and the SoA spectrogram workspace) built by its
+    /// session's first chunk.
+    pub plans_built: u64,
     /// `samples_out` over the manager's lifetime — the shard's sustained
     /// separation throughput.
     pub samples_per_sec: f64,
@@ -211,6 +219,12 @@ impl Telemetry {
     /// Total SpO2 windows emitted across shards.
     pub fn spo2_updates(&self) -> u64 {
         self.shards.iter().map(|s| s.spo2_updates).sum()
+    }
+
+    /// Total FFT plans built by session engines across shards (booked at
+    /// session close) — the fleet-wide plan-cache pressure gauge.
+    pub fn plans_built(&self) -> u64 {
+        self.shards.iter().map(|s| s.plans_built).sum()
     }
 
     /// All shards' SpO2 trend statistics merged into one fleet-wide view.
@@ -275,9 +289,10 @@ impl std::fmt::Display for Telemetry {
         };
         writeln!(
             f,
-            "total: {:.0} samples/s over {:.2} s; latency p50 {} / p95 {} / p99 {}",
+            "total: {:.0} samples/s over {:.2} s; {} plans; latency p50 {} / p95 {} / p99 {}",
             self.samples_per_sec(),
             self.elapsed.as_secs_f64(),
+            self.plans_built(),
             fmt_ms(self.latency_percentile(50.0)),
             fmt_ms(self.latency_percentile(95.0)),
             fmt_ms(self.latency_percentile(99.0)),

@@ -7,6 +7,11 @@
 //! This is the contract that makes the serving layer safe to deploy over
 //! the reproduction: scheduling, sharding, batching, and queueing may
 //! reorder *work*, but never change *results*.
+//!
+//! The invariant deliberately spans the whole spectral data path — the
+//! packed real FFT (`rfft`/`irfft`) and the SoA `Spectrogram` workspace
+//! every session reuses — so a numeric change anywhere in that path that
+//! made worker-side results diverge from serial ones fails here first.
 
 use dhf_core::DhfConfig;
 use dhf_serve::{ServeConfig, SessionManager};

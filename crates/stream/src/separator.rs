@@ -275,10 +275,10 @@ impl StreamingSeparator {
         let off = s - self.buf_start;
 
         let mixed = &self.buf[off..off + chunk_len];
-        let chunk_tracks: Vec<Vec<f64>> =
-            self.tracks.iter().map(|t| t[off..off + chunk_len].to_vec()).collect();
+        let chunk_tracks: Vec<&[f64]> =
+            self.tracks.iter().map(|t| &t[off..off + chunk_len]).collect();
         let salt = self.chunk_index * CHUNK_SALT_STRIDE;
-        let result = self.ctx.separate(mixed, self.fs, &chunk_tracks, salt)?;
+        let result = self.ctx.separate_refs(mixed, self.fs, &chunk_tracks, salt)?;
 
         let mut sources = Vec::with_capacity(self.n_sources);
         for (src, est) in result.sources.iter().enumerate() {
@@ -350,10 +350,10 @@ impl StreamingSeparator {
             let off = full_start - self.buf_start;
             let emit_off = s - full_start;
             let mixed = &self.buf[off..off + len];
-            let chunk_tracks: Vec<Vec<f64>> =
-                self.tracks.iter().map(|t| t[off..off + len].to_vec()).collect();
+            let chunk_tracks: Vec<&[f64]> =
+                self.tracks.iter().map(|t| &t[off..off + len]).collect();
             let salt = self.chunk_index * CHUNK_SALT_STRIDE;
-            match self.ctx.separate(mixed, self.fs, &chunk_tracks, salt) {
+            match self.ctx.separate_refs(mixed, self.fs, &chunk_tracks, salt) {
                 Ok(result) => {
                     let seam = if self.tail.is_empty() { 0 } else { overlap.min(remaining) };
                     let mut sources = Vec::with_capacity(self.n_sources);

@@ -13,9 +13,9 @@
 //! cargo run --release --example fetal_spo2
 //! ```
 
-use dhf::core::DhfConfig;
+use dhf::core::{DhfConfig, RoundContext};
 use dhf::metrics::pearson;
-use dhf::oximetry::{estimate_spo2_trend, Calibration, OximetryConfig, StreamingOximeter};
+use dhf::oximetry::{estimate_spo2_trend_in, Calibration, OximetryConfig, StreamingOximeter};
 use dhf::stream::StreamingConfig;
 use dhf::synth::dualwave::{generate, DualWaveConfig, Spo2Scenario};
 
@@ -47,8 +47,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tracks = vec![rec.f0.maternal.clone(), rec.f0.fetal.clone()];
 
     // ---- Offline: whole-recording separation → ratio trend ------------
-    let trend = estimate_spo2_trend([&rec.mixed[0], &rec.mixed[1]], fs, &tracks, &dhf, &ocfg)?;
-    println!("offline pipeline: {} trend windows", trend.samples.len());
+    // One RoundContext (SoA spectrogram workspace + FFT plan cache) serves
+    // both wavelength channels here and stays warm for any further
+    // recordings a batch-scoring caller would push through it.
+    let mut ctx = RoundContext::new(&dhf);
+    ctx.set_collect_reports(false);
+    let trend =
+        estimate_spo2_trend_in(&mut ctx, [&rec.mixed[0], &rec.mixed[1]], fs, &tracks, &ocfg)?;
+    println!(
+        "offline pipeline: {} trend windows ({} FFT plans built, reused across channels)",
+        trend.samples.len(),
+        ctx.fft_plans_built(),
+    );
 
     // Fit the Eq. 10 calibration on the blood draws: each draw pairs the
     // assayed SaO2 with the ratio of the nearest trend window.

@@ -1,7 +1,7 @@
 //! Property-based tests on the core invariants, spanning crates.
 
 use dhf::core::PatternAligner;
-use dhf::dsp::fft::{fft, ifft};
+use dhf::dsp::fft::{fft, ifft, FftPlanner};
 use dhf::dsp::stft::{istft, stft, StftConfig};
 use dhf::dsp::window::{cola_deviation, WindowKind};
 use dhf::dsp::Complex;
@@ -25,6 +25,47 @@ proptest! {
         let y = ifft(&fft(&x));
         for (a, b) in x.iter().zip(&y) {
             prop_assert!((*a - *b).abs() < 1e-6);
+        }
+    }
+
+    /// Packed real FFT round trip: `irfft(rfft(x)) == x` to ≤1e-9 for
+    /// arbitrary real signals across power-of-two, even, odd, and prime
+    /// lengths (the odd path exercises the Bluestein fallback).
+    #[test]
+    fn rfft_round_trip(choice in 0usize..12, seed in 0u64..1000) {
+        // Explicit roster so every structural case is hit: pow2, even
+        // non-pow2, odd composite, and primes.
+        let len = [2usize, 4, 8, 256, 6, 30, 100, 9, 45, 7, 127, 251][choice];
+        let x: Vec<f64> = (0..len)
+            .map(|i| (((i as u64).wrapping_mul(seed + 7)) % 1000) as f64 / 500.0 - 1.0)
+            .collect();
+        let mut planner = FftPlanner::new();
+        let mut half = Vec::new();
+        planner.rfft_into(&x, &mut half);
+        prop_assert_eq!(half.len(), len / 2 + 1);
+        let mut back = Vec::new();
+        planner.irfft_into(&half, len, &mut back);
+        prop_assert_eq!(back.len(), len);
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((a - b).abs() <= 1e-9, "len {}: {} vs {}", len, a, b);
+        }
+    }
+
+    /// The packed real path agrees with the full complex transform
+    /// (promote to complex, transform, take the half spectrum) to ≤1e-9 —
+    /// the equivalence that justified deleting the promotion branch.
+    #[test]
+    fn rfft_matches_full_complex_fft(choice in 0usize..12, seed in 0u64..1000) {
+        let len = [2usize, 4, 8, 256, 6, 30, 100, 9, 45, 7, 127, 251][choice];
+        let x: Vec<f64> = (0..len)
+            .map(|i| (((i as u64).wrapping_mul(3 * seed + 11)) % 997) as f64 / 498.5 - 1.0)
+            .collect();
+        let mut planner = FftPlanner::new();
+        let mut half = Vec::new();
+        planner.rfft_into(&x, &mut half);
+        let full = fft(&x.iter().map(|&v| Complex::from_real(v)).collect::<Vec<_>>());
+        for (k, (a, b)) in half.iter().zip(&full).enumerate() {
+            prop_assert!((*a - *b).abs() <= 1e-9, "len {} bin {}: {} vs {}", len, k, a, b);
         }
     }
 

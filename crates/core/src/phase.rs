@@ -9,6 +9,7 @@
 use crate::mask::HarmonicMask;
 use dhf_dsp::phase::interpolate_cyclic_into;
 use dhf_dsp::stft::Spectrogram;
+use dhf_dsp::Complex;
 
 /// Phase image (bin-major `bins × frames`) with concealed cells
 /// re-interpolated from the visible ones, every bin handled independently
@@ -39,6 +40,49 @@ pub fn interpolate_masked_phase_into(spec: &Spectrogram, mask: &HarmonicMask, ou
         }
         interpolate_cyclic_into(&row_phase, mask.row_visibility(b), &mut fixed);
         out[b * frames..(b + 1) * frames].copy_from_slice(&fixed);
+    }
+}
+
+/// Rebuilds *only the concealed cells* of `spec` from an in-painted
+/// magnitude image, interpolating their phases in place.
+///
+/// This fuses [`interpolate_masked_phase_into`] with the subsequent
+/// magnitude/phase reconstruction for the common case where the in-paint
+/// step kept every visible cell's magnitude (`keep_visible`, or the
+/// deterministic harmonic interpolation, which never touches them): a
+/// visible cell then has unchanged magnitude *and* phase, so re-deriving
+/// it through `atan2`/`sin_cos` would only re-round it. Fully visible bin
+/// rows are skipped outright — no `atan2` per cell — and within a touched
+/// row only the hidden cells are rewritten.
+///
+/// # Panics
+///
+/// Panics if the mask or magnitude image disagree with `spec`'s shape.
+pub fn reconstruct_hidden_cells(spec: &mut Spectrogram, mask: &HarmonicMask, magnitude: &[f64]) {
+    let bins = spec.bins();
+    let frames = spec.frames();
+    assert_eq!(mask.bins(), bins, "mask/spectrogram bins mismatch");
+    assert_eq!(mask.frames(), frames, "mask/spectrogram frames mismatch");
+    assert_eq!(magnitude.len(), bins * frames, "magnitude image size mismatch");
+    let mut row_phase = vec![0.0f64; frames];
+    let mut fixed = Vec::with_capacity(frames);
+    for b in 0..bins {
+        let vis = mask.row_visibility(b);
+        if vis.iter().all(|&v| v) {
+            continue;
+        }
+        for (m, rp) in row_phase.iter_mut().enumerate() {
+            *rp = spec.at(b, m).arg();
+        }
+        interpolate_cyclic_into(&row_phase, vis, &mut fixed);
+        for (m, &visible) in vis.iter().enumerate() {
+            if visible {
+                continue;
+            }
+            let mag = magnitude[b * frames + m];
+            let (sin, cos) = fixed[m].sin_cos();
+            spec.set_at(b, m, Complex::new(mag * cos, mag * sin));
+        }
     }
 }
 

@@ -3,7 +3,7 @@
 use crate::align::{PatternAligner, UnwarpedSignal};
 use crate::inpaint::{inpaint_magnitude, InpaintConfig, InpaintMethod};
 use crate::mask::{target_comb_gain, HarmonicMask};
-use crate::phase::interpolate_masked_phase_into;
+use crate::phase::{interpolate_masked_phase_into, reconstruct_hidden_cells};
 use crate::DhfError;
 use dhf_dsp::stft::{Spectrogram, StftConfig, StftEngine};
 use dhf_dsp::Complex;
@@ -365,9 +365,8 @@ impl RoundContext {
                     return Err(e);
                 }
             };
-            for (r, &e) in residual.iter_mut().zip(&estimate) {
-                *r -= e;
-            }
+            let nmin = residual.len().min(estimate.len());
+            dhf_dsp::simd::sub_in_place(&mut residual[..nmin], &estimate[..nmin]);
             sources[si] = estimate;
             rounds.push(report);
         }
@@ -384,12 +383,17 @@ impl RoundContext {
         match self.cfg.order {
             SeparationOrder::AsGiven => (0..n).collect(),
             SeparationOrder::EnergyDescending => {
+                // One full-signal spectrum serves every track's score: the
+                // transform does not depend on the band, only the scoring
+                // range does, so hoisting it replaces `n` identical
+                // (expensive, Bluestein-sized) real FFTs with one.
+                dhf_dsp::fft::with_thread_planner(|p| p.rfft_into(mixed, &mut self.band_half));
                 let mut scored: Vec<(f64, usize)> = (0..n)
                     .map(|i| {
                         let t = f0_tracks[i];
                         let (lo, hi) =
                             t.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
-                        (self.band_energy(mixed, fs, (lo - 0.1).max(0.01), hi + 0.1), i)
+                        (self.band_energy(mixed.len(), fs, (lo - 0.1).max(0.01), hi + 0.1), i)
                     })
                     .collect();
                 scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
@@ -398,25 +402,27 @@ impl RoundContext {
         }
     }
 
-    /// Spectral energy of `signal` inside `[lo, hi]` Hz via one packed
-    /// real FFT into the context's reused half-spectrum scratch.
+    /// Spectral energy inside `[lo, hi]` Hz of the half spectrum cached in
+    /// `band_half` by the caller ([`RoundContext::peel_order`] transforms
+    /// the signal once on the thread-local planner — the transform size
+    /// differs from every STFT frame size, and sharing the planner per
+    /// worker thread keeps its large Bluestein plan warm across
+    /// short-lived contexts too). `n` is the original signal length.
     ///
-    /// Runs on the thread-local planner rather than the context's own: the
-    /// full-signal transform size differs from every STFT frame size, and
-    /// sharing it per worker thread keeps its (large) Bluestein plan warm
-    /// across short-lived contexts — one `separate()` call each — too.
-    fn band_energy(&mut self, signal: &[f64], fs: f64, lo: f64, hi: f64) -> f64 {
-        dhf_dsp::fft::with_thread_planner(|p| p.rfft_into(signal, &mut self.band_half));
-        let n = signal.len();
-        self.band_half
-            .iter()
-            .enumerate()
-            .filter(|&(k, _)| {
-                let f = k as f64 * fs / n as f64;
-                f >= lo && f <= hi
-            })
-            .map(|(_, c)| c.norm_sqr())
-            .sum()
+    /// Bin frequency `k·fs/n` is monotone in `k`, so the included bins are
+    /// one contiguous run, summed with the deterministic reduction kernel
+    /// over the complex buffer's raw lanes (`Σ re² + im²`).
+    fn band_energy(&self, n: usize, fs: f64, lo: f64, hi: f64) -> f64 {
+        let f_of = |k: usize| k as f64 * fs / n as f64;
+        let bins = self.band_half.len();
+        let Some(k0) = (0..bins).find(|&k| f_of(k) >= lo) else {
+            return 0.0;
+        };
+        if f_of(k0) > hi {
+            return 0.0;
+        }
+        let k1 = (k0..bins).take_while(|&k| f_of(k) <= hi).last().unwrap_or(k0);
+        dhf_dsp::simd::sum_sq(dhf_dsp::simd::complex_lanes(&self.band_half[k0..=k1]))
     }
 
     /// One DHF round targeting source `si` of the given residual
@@ -517,9 +523,19 @@ impl RoundContext {
         let outcome = inpaint_magnitude(&self.magnitude, bins, frames, &self.mask_f32, &self.icfg)?;
 
         // Cyclic phase interpolation across the concealed cells (§3.4),
-        // then rebuild the workspace planes in place.
-        interpolate_masked_phase_into(&self.spec, &self.mask, &mut self.phase);
-        self.spec.set_magnitude_phase(&outcome.magnitude, &self.phase);
+        // then rebuild the workspace planes in place. When the in-paint
+        // kept every visible cell's magnitude (harmonic interpolation, or
+        // deep prior with `keep_visible`), a visible cell is entirely
+        // unchanged, so only the concealed cells need phases interpolated
+        // and coefficients rebuilt; otherwise rebuild the full image.
+        let visible_preserved = self.icfg.keep_visible
+            || matches!(self.icfg.method, crate::inpaint::InpaintMethod::HarmonicInterp);
+        if visible_preserved {
+            reconstruct_hidden_cells(&mut self.spec, &self.mask, &outcome.magnitude);
+        } else {
+            interpolate_masked_phase_into(&self.spec, &self.mask, &mut self.phase);
+            self.spec.set_magnitude_phase(&outcome.magnitude, &self.phase);
+        }
 
         // Optional comb restriction: keep only the target's harmonic rows.
         // Rounds that shrank the window target a slow dominant source
@@ -537,9 +553,7 @@ impl RoundContext {
                 cfg.comb_harmonics
             };
             let gain = target_comb_gain(&stft_cfg, comb_harmonics, comb_bw);
-            for (b, &g) in gain.iter().enumerate() {
-                self.spec.scale_bin(b, g);
-            }
+            self.spec.scale_bins(&gain);
         }
 
         self.engine.istft_into(&self.spec, &mut self.y_un);

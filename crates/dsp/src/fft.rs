@@ -30,6 +30,7 @@
 //! `ifft(fft(x)) == x`.
 
 use crate::complex::Complex;
+use crate::simd;
 use std::cell::RefCell;
 use std::collections::HashMap;
 
@@ -110,17 +111,7 @@ impl Radix2Plan {
         while len <= n {
             let half = len / 2;
             let tw = &self.twiddles[half - 1..half - 1 + half];
-            let mut i = 0;
-            while i < n {
-                for k in 0..half {
-                    let w = if inverse { tw[k].conj() } else { tw[k] };
-                    let u = buf[i + k];
-                    let v = buf[i + k + half] * w;
-                    buf[i + k] = u + v;
-                    buf[i + k + half] = u - v;
-                }
-                i += len;
-            }
+            simd::radix2_stage(buf, tw, half, inverse);
             len <<= 1;
         }
     }
@@ -292,14 +283,12 @@ impl FftPlanner {
         let radix2_m = &self.radix2[&m];
         a.clear();
         a.resize(m, Complex::ZERO);
-        for k in 0..n {
-            a[k] = buf[k] * plan.chirp_at(k, inverse);
-        }
+        // Chirp premultiply; the inverse transform conjugates the chirp,
+        // which is exactly `cmul_into` with `conj_b`.
+        simd::cmul_into(&mut a[..n], &buf[..n], &plan.chirp, inverse);
         radix2_m.execute(&mut a, false);
         let kernel = if inverse { &plan.kernel_inv } else { &plan.kernel_fwd };
-        for (ai, &ki) in a.iter_mut().zip(kernel) {
-            *ai *= ki;
-        }
+        simd::cmul_in_place(&mut a, kernel, false);
         radix2_m.execute(&mut a, true);
         let scale = 1.0 / m as f64;
         for k in 0..n {
@@ -321,9 +310,7 @@ impl FftPlanner {
         }
         self.transform(buf, true);
         let scale = 1.0 / n as f64;
-        for v in buf.iter_mut() {
-            *v = v.scale(scale);
-        }
+        simd::scale_in_place(simd::complex_lanes_mut(buf), scale);
     }
 
     fn ensure_real(&mut self, n: usize) {
@@ -345,19 +332,6 @@ impl FftPlanner {
         debug_assert_eq!(buf.len(), m);
         self.transform(&mut buf, false);
         buf
-    }
-
-    /// `X[k]` of the packed transform: unscrambles bin `k` from the
-    /// half-size spectrum `z` using the cached split twiddle `tw[k]`.
-    #[inline]
-    fn real_split_bin(z: &[Complex], tw: &[Complex], m: usize, k: usize) -> Complex {
-        let a = z[k % m];
-        let b = z[(m - k) % m].conj();
-        let ze = (a + b).scale(0.5);
-        let d = a - b;
-        // Zo = d·(-i)/2.
-        let zo = Complex::new(d.im, -d.re).scale(0.5);
-        ze + tw[k] * zo
     }
 
     /// Forward DFT of a real signal into `out` (cleared and refilled with
@@ -389,13 +363,10 @@ impl FftPlanner {
             self.real_scratch = buf;
             return;
         }
-        let m = n / 2;
         let z = self.rfft_pack_transform(input);
         let tw = &self.real[&n].twiddle;
-        out.reserve(m + 1);
-        for k in 0..=m {
-            out.push(Self::real_split_bin(&z, tw, m, k));
-        }
+        out.resize(n / 2 + 1, Complex::ZERO);
+        simd::real_split_combine_aos(&z, tw, out);
         self.real_scratch = z;
     }
 
@@ -432,14 +403,9 @@ impl FftPlanner {
             self.real_scratch = buf;
             return;
         }
-        let m = n / 2;
         let z = self.rfft_pack_transform(input);
         let tw = &self.real[&n].twiddle;
-        for (k, (r, i)) in re.iter_mut().zip(im.iter_mut()).enumerate() {
-            let x = Self::real_split_bin(&z, tw, m, k);
-            *r = x.re;
-            *i = x.im;
-        }
+        simd::real_split_combine_soa(&z, tw, re, im);
         self.real_scratch = z;
     }
 

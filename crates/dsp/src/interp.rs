@@ -421,6 +421,39 @@ mod tests {
     }
 
     #[test]
+    fn locate_hinted_matches_locate_from_any_cursor() {
+        // Uneven knots so interval widths differ; queries hit every
+        // knot exactly, one ulp to either side, and every midpoint.
+        let xs: Vec<f64> = (0..8).map(|i| (i as f64).sqrt()).collect();
+        let last = xs.len() - 2;
+        let mut queries: Vec<f64> = xs.windows(2).map(|w| 0.5 * (w[0] + w[1])).collect();
+        for &k in &xs {
+            queries.extend([k.next_down(), k, k.next_up()]);
+        }
+        for &q in &queries {
+            let want = locate(&xs, q);
+            // Every possible cursor position, including one past the
+            // last interval (a stale hint from a longer grid).
+            for start in 0..=xs.len() {
+                let mut hint = start;
+                assert_eq!(locate_hinted(&xs, q, &mut hint), want, "q {q} from hint {start}");
+                assert!(hint <= last, "cursor must stay clamped");
+                // Repeating the query must return the same interval
+                // without moving the cursor.
+                assert_eq!(locate_hinted(&xs, q, &mut hint), want, "repeat of q {q}");
+                assert_eq!(hint, want.min(last));
+            }
+        }
+        // A non-decreasing sweep over the knots walks the cursor to the
+        // final interval (the aligner's steady-state access pattern).
+        let mut hint = 0usize;
+        for &q in &xs {
+            locate_hinted(&xs, q, &mut hint);
+        }
+        assert_eq!(hint, last);
+    }
+
+    #[test]
     fn single_point_is_constant() {
         let out = linear_interp(&[1.0], &[42.0], &[0.0, 1.0, 2.0]).unwrap();
         assert_eq!(out, vec![42.0; 3]);

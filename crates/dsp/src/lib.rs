@@ -47,6 +47,7 @@ pub mod median;
 pub mod peaks;
 pub mod phase;
 pub mod resample;
+pub mod simd;
 pub mod stats;
 pub mod stft;
 pub mod window;

@@ -8,6 +8,7 @@
 
 use crate::complex::Complex;
 use crate::fft::FftPlanner;
+use crate::simd;
 use crate::window::{cola_deviation, WindowKind};
 use crate::{DspError, Result};
 use std::cell::RefCell;
@@ -249,6 +250,15 @@ impl Spectrogram {
         Complex::new(self.re[i], self.im[i])
     }
 
+    /// Overwrites the coefficient at (`bin`, `frame`), scattering into the
+    /// planes (the write-side complement of [`Spectrogram::at`]).
+    #[inline]
+    pub fn set_at(&mut self, bin: usize, frame: usize, value: Complex) {
+        let i = frame * self.bins + bin;
+        self.re[i] = value.re;
+        self.im[i] = value.im;
+    }
+
     /// The whole real plane, frame-major.
     pub fn re_plane(&self) -> &[f64] {
         &self.re
@@ -288,18 +298,24 @@ impl Spectrogram {
     pub fn magnitude_into(&self, out: &mut Vec<f64>) {
         out.clear();
         out.resize(self.bins * self.frames, 0.0);
+        // Magnitudes over the whole contiguous planes in one kernel pass
+        // (√(re²+im²) rather than `hypot` — exactly rounded and immune to
+        // overflow at any magnitude a spectrogram can hold), then a scalar
+        // transpose into the bin-major image.
+        let mut flat = vec![0.0; self.re.len()];
+        simd::magnitude_into(&mut flat, &self.re, &self.im);
         for m in 0..self.frames {
             let row = m * self.bins;
             for b in 0..self.bins {
-                let i = row + b;
-                out[b * self.frames + m] = self.re[i].hypot(self.im[i]);
+                out[b * self.frames + m] = flat[row + b];
             }
         }
     }
 
-    /// Total energy `Σ|X|²` of the spectrogram.
+    /// Total energy `Σ|X|²` of the spectrogram, accumulated in the
+    /// deterministic lane order of [`simd::sum_sq2`].
     pub fn energy(&self) -> f64 {
-        self.re.iter().zip(&self.im).map(|(r, i)| r * r + i * i).sum()
+        simd::sum_sq2(&self.re, &self.im)
     }
 
     /// Rebuilds every coefficient in place from bin-major magnitude and
@@ -316,8 +332,9 @@ impl Spectrogram {
             for b in 0..self.bins {
                 let src = b * self.frames + m;
                 let (mag, ph) = (magnitude[src], phase[src]);
-                self.re[row + b] = mag * ph.cos();
-                self.im[row + b] = mag * ph.sin();
+                let (sin, cos) = ph.sin_cos();
+                self.re[row + b] = mag * cos;
+                self.im[row + b] = mag * sin;
             }
         }
     }
@@ -354,6 +371,23 @@ impl Spectrogram {
             i += self.bins;
         }
     }
+
+    /// Scales every frame by a per-bin gain vector (time-constant gains,
+    /// e.g. the comb restriction): each frame's contiguous plane slices
+    /// are multiplied elementwise by `gains` in one kernel call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gains.len() != bins`.
+    pub fn scale_bins(&mut self, gains: &[f64]) {
+        assert_eq!(gains.len(), self.bins, "gain vector size mismatch");
+        for m in 0..self.frames {
+            let lo = m * self.bins;
+            let hi = lo + self.bins;
+            simd::mul_in_place(&mut self.re[lo..hi], gains);
+            simd::mul_in_place(&mut self.im[lo..hi], gains);
+        }
+    }
 }
 
 /// A reusable STFT engine: owns an [`FftPlanner`] plus window and frame
@@ -369,6 +403,10 @@ impl Spectrogram {
 pub struct StftEngine {
     planner: FftPlanner,
     window: Vec<f64>,
+    /// Precomputed `window[i]²` for the overlap-add normalization — the
+    /// product is identical to multiplying on the fly, so the vectorized
+    /// accumulate stays bit-identical to the historical scalar loop.
+    window_sq: Vec<f64>,
     window_key: Option<(WindowKind, usize)>,
     frame: Vec<f64>,
     norm: Vec<f64>,
@@ -389,6 +427,7 @@ impl StftEngine {
     fn ensure_window(&mut self, kind: WindowKind, len: usize) {
         if self.window_key != Some((kind, len)) {
             self.window = kind.samples(len);
+            self.window_sq = self.window.iter().map(|&w| w * w).collect();
             self.window_key = Some((kind, len));
         }
     }
@@ -435,9 +474,7 @@ impl StftEngine {
         frame.resize(w, 0.0);
         for m in 0..frames {
             let start = m * config.hop();
-            for (i, f) in frame.iter_mut().enumerate() {
-                *f = signal[start + i] * self.window[i];
-            }
+            simd::mul_into(&mut frame, &signal[start..start + w], &self.window);
             let (re, im) = spec.frame_mut(m);
             self.planner.rfft_split_into(&frame, re, im);
         }
@@ -475,10 +512,8 @@ impl StftEngine {
             let (re, im) = spec.frame(m);
             self.planner.irfft_split_into(re, im, w, &mut frame);
             let start = m * hop;
-            for i in 0..w {
-                out[start + i] += frame[i] * self.window[i];
-                norm[start + i] += self.window[i] * self.window[i];
-            }
+            simd::mul_add_in_place(&mut out[start..start + w], &frame, &self.window);
+            simd::add_in_place(&mut norm[start..start + w], &self.window_sq);
         }
         // Normalize by the squared-window overlap. Near the edges the
         // overlap sum decays to ~0; for *modified* spectrograms the

@@ -1,0 +1,253 @@
+//! The SIMD bit-identity invariant (property tests): every kernel in
+//! [`dhf_dsp::simd`] must return **bit-identical** results at every
+//! dispatch level the host can run — scalar, SSE2, AVX2, NEON — for any
+//! input values and any length, including every tail residue
+//! `len % 4 ∈ {0, 1, 2, 3}` (the widest lane is four `f64`s, so the
+//! residue decides how much remainder handling runs).
+//!
+//! This is the contract that lets runtime dispatch (and the
+//! `DHF_FORCE_SCALAR` escape hatch) change *which instructions execute*
+//! without ever changing results — the serving determinism invariant in
+//! `dhf_serve` builds directly on it.
+
+use dhf_dsp::simd::{self, Level};
+use dhf_dsp::Complex;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// The dispatch override is process-global, so tests that pin it must not
+/// interleave (results would still agree — that is the very invariant —
+/// but each test's claimed level coverage would not be trustworthy).
+static DISPATCH: Mutex<()> = Mutex::new(());
+
+/// Levels this host can actually run: an override above the detected
+/// capability is clamped, so requesting each level and reading back the
+/// active one enumerates exactly the runnable set.
+fn available_levels() -> Vec<Level> {
+    let mut out = Vec::new();
+    for l in [Level::Scalar, Level::Sse2, Level::Avx2, Level::Neon] {
+        simd::set_dispatch_override(Some(l));
+        if simd::active_level() == l {
+            out.push(l);
+        }
+    }
+    simd::set_dispatch_override(None);
+    out
+}
+
+/// Restores auto dispatch even if an assertion unwinds mid-test.
+struct AutoDispatch;
+impl Drop for AutoDispatch {
+    fn drop(&mut self) {
+        simd::set_dispatch_override(None);
+    }
+}
+
+/// Deterministic value stream from a drawn seed: finite values spanning
+/// signs and magnitudes, with exact `0.0`/`-0.0` sprinkled in (the bit
+/// comparison distinguishes the two zeros).
+fn values(seed: u64, n: usize) -> Vec<f64> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state
+    };
+    (0..n)
+        .map(|_| {
+            let r = next();
+            match r % 16 {
+                0 => 0.0,
+                1 => -0.0,
+                2 => 1e-300 * (1.0 + (r >> 32) as f64),
+                3 => -3.5e300 * ((r >> 32) as f64 / 4294967296.0),
+                4..=7 => ((r >> 11) as f64 / (1u64 << 53) as f64) * 2e9 - 1e9,
+                _ => ((r >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0,
+            }
+        })
+        .collect()
+}
+
+fn complex_values(seed: u64, n: usize) -> Vec<Complex> {
+    values(seed, 2 * n).chunks_exact(2).map(|p| Complex::new(p[0], p[1])).collect()
+}
+
+fn bits(a: &[f64]) -> Vec<u64> {
+    a.iter().map(|v| v.to_bits()).collect()
+}
+
+fn cbits(a: &[Complex]) -> Vec<u64> {
+    a.iter().flat_map(|c| [c.re.to_bits(), c.im.to_bits()]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Elementwise and reduction kernels over real planes. The length is
+    /// built as `4·q + r` with the residue drawn uniformly, so every
+    /// tail shape is exercised by construction.
+    #[test]
+    fn plane_kernels_are_bit_identical_across_levels(
+        q in 0usize..24,
+        r in 0usize..4,
+        seed in 1u64..u64::MAX,
+        scale in -1e6f64..1e6,
+    ) {
+        let n = 4 * q + r;
+        let a = values(seed, n);
+        let b = values(seed.rotate_left(17) ^ 0xabcd, n);
+        let acc0 = values(seed.rotate_left(39) ^ 0x1234, n);
+
+        let _guard = DISPATCH.lock().unwrap();
+        let _auto = AutoDispatch;
+        // Scalar reference results, computed once through the public
+        // reference module (the semantic source of truth).
+        let mut want_mul = vec![0.0; n];
+        simd::scalar::mul_into(&mut want_mul, &a, &b);
+        let mut want_mul_add = acc0.clone();
+        simd::scalar::mul_add_in_place(&mut want_mul_add, &a, &b);
+        let mut want_add = acc0.clone();
+        simd::scalar::add_in_place(&mut want_add, &a);
+        let mut want_sub = acc0.clone();
+        simd::scalar::sub_in_place(&mut want_sub, &a);
+        let mut want_scale = acc0.clone();
+        simd::scalar::scale_in_place(&mut want_scale, scale);
+        let mut want_mag = vec![0.0; n];
+        simd::scalar::magnitude_into(&mut want_mag, &a, &b);
+        let want_sum = simd::scalar::sum_sq(&a);
+        let want_sum2 = simd::scalar::sum_sq2(&a, &b);
+
+        for level in available_levels() {
+            simd::set_dispatch_override(Some(level));
+            let mut out = vec![0.0; n];
+            simd::mul_into(&mut out, &a, &b);
+            prop_assert_eq!(bits(&out), bits(&want_mul), "mul_into at {} (n {})", level, n);
+
+            let mut buf = a.clone();
+            simd::mul_in_place(&mut buf, &b);
+            prop_assert_eq!(bits(&buf), bits(&want_mul), "mul_in_place at {}", level);
+
+            let mut buf = acc0.clone();
+            simd::mul_add_in_place(&mut buf, &a, &b);
+            prop_assert_eq!(bits(&buf), bits(&want_mul_add), "mul_add at {}", level);
+
+            let mut buf = acc0.clone();
+            simd::add_in_place(&mut buf, &a);
+            prop_assert_eq!(bits(&buf), bits(&want_add), "add at {}", level);
+
+            let mut buf = acc0.clone();
+            simd::sub_in_place(&mut buf, &a);
+            prop_assert_eq!(bits(&buf), bits(&want_sub), "sub at {}", level);
+
+            let mut buf = acc0.clone();
+            simd::scale_in_place(&mut buf, scale);
+            prop_assert_eq!(bits(&buf), bits(&want_scale), "scale at {}", level);
+
+            let mut out = vec![0.0; n];
+            simd::magnitude_into(&mut out, &a, &b);
+            prop_assert_eq!(bits(&out), bits(&want_mag), "magnitude at {}", level);
+
+            prop_assert_eq!(
+                simd::sum_sq(&a).to_bits(), want_sum.to_bits(),
+                "sum_sq at {} (n {})", level, n
+            );
+            prop_assert_eq!(
+                simd::sum_sq2(&a, &b).to_bits(), want_sum2.to_bits(),
+                "sum_sq2 at {} (n {})", level, n
+            );
+        }
+    }
+
+    /// Complex kernels: butterfly stages, pointwise complex multiplies
+    /// (plain and conjugated), and both split-twiddle real-FFT combines.
+    /// `m` sweeps past several multiples of the lane width so the vector
+    /// loop, the scalar edge bins, and the odd-leftover paths all run.
+    #[test]
+    fn complex_kernels_are_bit_identical_across_levels(
+        half_log in 0u32..6,
+        blocks in 1usize..4,
+        flags in 0usize..4,
+        m in 1usize..34,
+        seed in 1u64..u64::MAX,
+    ) {
+        let (inverse, conj) = (flags & 1 != 0, flags & 2 != 0);
+        let half = 1usize << half_log;
+        let n = 2 * half * blocks;
+        let buf0 = complex_values(seed, n);
+        let tw: Vec<Complex> = (0..half)
+            .map(|k| Complex::cis(-std::f64::consts::PI * k as f64 / half as f64))
+            .collect();
+        let z = complex_values(seed ^ 0x5555, m);
+        let b = complex_values(seed.rotate_left(23) ^ 0x9999, m);
+        let split_tw: Vec<Complex> = (0..=m)
+            .map(|k| Complex::cis(-std::f64::consts::PI * k as f64 / m as f64))
+            .collect();
+
+        let _guard = DISPATCH.lock().unwrap();
+        let _auto = AutoDispatch;
+        let mut want_stage = buf0.clone();
+        simd::scalar::radix2_stage(&mut want_stage, &tw, half, inverse);
+        let mut want_cmul = vec![Complex::ZERO; m];
+        simd::scalar::cmul_into(&mut want_cmul, &z, &b, conj);
+        let (mut want_re, mut want_im) = (vec![0.0; m + 1], vec![0.0; m + 1]);
+        simd::scalar::real_split_combine_soa(&z, &split_tw, &mut want_re, &mut want_im);
+        let mut want_aos = vec![Complex::ZERO; m + 1];
+        simd::scalar::real_split_combine_aos(&z, &split_tw, &mut want_aos);
+
+        for level in available_levels() {
+            simd::set_dispatch_override(Some(level));
+            let mut buf = buf0.clone();
+            simd::radix2_stage(&mut buf, &tw, half, inverse);
+            prop_assert_eq!(
+                cbits(&buf), cbits(&want_stage),
+                "radix2_stage at {} (half {}, blocks {})", level, half, blocks
+            );
+
+            let mut out = vec![Complex::ZERO; m];
+            simd::cmul_into(&mut out, &z, &b, conj);
+            prop_assert_eq!(cbits(&out), cbits(&want_cmul), "cmul_into at {}", level);
+
+            let mut acc = z.clone();
+            simd::cmul_in_place(&mut acc, &b, conj);
+            prop_assert_eq!(cbits(&acc), cbits(&want_cmul), "cmul_in_place at {}", level);
+
+            let (mut re, mut im) = (vec![0.0; m + 1], vec![0.0; m + 1]);
+            simd::real_split_combine_soa(&z, &split_tw, &mut re, &mut im);
+            prop_assert_eq!(bits(&re), bits(&want_re), "combine re at {} (m {})", level, m);
+            prop_assert_eq!(bits(&im), bits(&want_im), "combine im at {} (m {})", level, m);
+
+            let mut out = vec![Complex::ZERO; m + 1];
+            simd::real_split_combine_aos(&z, &split_tw, &mut out);
+            prop_assert_eq!(cbits(&out), cbits(&want_aos), "combine aos at {} (m {})", level, m);
+        }
+    }
+
+    /// The whole-transform view: a packed real FFT and its inverse must
+    /// come out bit-identical whichever level ran them (the transforms
+    /// chain every kernel above, so this catches any level-dependent
+    /// re-association the per-kernel tests might miss).
+    #[test]
+    fn fft_outputs_are_bit_identical_across_levels(
+        n_log in 1u32..9,
+        seed in 1u64..u64::MAX,
+    ) {
+        let n = 1usize << n_log;
+        let signal = values(seed, n);
+        let _guard = DISPATCH.lock().unwrap();
+        let _auto = AutoDispatch;
+
+        let mut reference: Option<(Vec<u64>, Vec<u64>)> = None;
+        for level in available_levels() {
+            simd::set_dispatch_override(Some(level));
+            let spec = dhf_dsp::fft::fft_real(&signal);
+            let back = dhf_dsp::fft::ifft_real(&spec, n);
+            let got = (cbits(&spec), bits(&back));
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => {
+                    prop_assert_eq!(&got.0, &want.0, "rfft spectrum at {} (n {})", level, n);
+                    prop_assert_eq!(&got.1, &want.1, "irfft round trip at {} (n {})", level, n);
+                }
+            }
+        }
+    }
+}

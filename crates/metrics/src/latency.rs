@@ -314,6 +314,46 @@ mod tests {
     }
 
     #[test]
+    fn bucket_index_clamps_every_float_edge() {
+        let h = LatencyHistogram::for_serving();
+        let n = h.counts.len();
+        let (last_regular, overflow) = (n - 2, n - 1);
+
+        // The exact range boundaries: `lo` opens the first regular
+        // bucket, `hi` is already overflow (buckets are half-open).
+        assert_eq!(h.bucket_index(h.lo), 1);
+        assert_eq!(h.bucket_index(h.hi), overflow);
+        assert_eq!(h.bucket_index(h.lo.next_down()), 0);
+        assert_eq!(h.bucket_index(h.hi.next_up()), overflow);
+        // One ulp inside either end stays in a regular bucket — this is
+        // where `(v.ln() - ln_lo) / ln_step` can round to exactly the
+        // bucket count and would index out of range without the clamp.
+        assert_eq!(h.bucket_index(h.lo.next_up()), 1);
+        assert_eq!(h.bucket_index(h.hi.next_down()), last_regular);
+
+        // Non-positive values never reach `ln()` (NaN index otherwise).
+        assert_eq!(h.bucket_index(0.0), 0);
+        assert_eq!(h.bucket_index(-1.0), 0);
+        assert_eq!(h.bucket_index(f64::MIN_POSITIVE), 0);
+
+        // Every interior bucket edge and its ulp-neighbours: always a
+        // regular bucket, and the index is monotone in the value.
+        let mut prev = 1;
+        for i in 0..=(n - 2) {
+            let edge = (h.ln_lo + i as f64 * h.ln_step).exp();
+            for v in [edge.next_down(), edge, edge.next_up()] {
+                if v < h.lo || v >= h.hi {
+                    continue;
+                }
+                let idx = h.bucket_index(v);
+                assert!((1..=last_regular).contains(&idx), "edge {i}: {v:e} -> {idx}");
+                assert!(idx >= prev, "index must be monotone: {v:e} -> {idx} after {prev}");
+                prev = idx;
+            }
+        }
+    }
+
+    #[test]
     fn constant_stream_reports_the_constant() {
         let mut h = LatencyHistogram::for_serving();
         for _ in 0..1000 {

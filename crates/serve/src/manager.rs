@@ -848,6 +848,50 @@ mod tests {
         assert!(p50 <= p99);
     }
 
+    #[test]
+    fn plans_built_gauge_is_live_for_open_sessions() {
+        let fs = 100.0;
+        let n = 7000;
+        let (mix, tracks) = make_mix(fs, n, 1);
+        let scfg = stream_cfg(3000, 400);
+        let t: Vec<&[f64]> = tracks.iter().map(Vec::as_slice).collect();
+
+        // Serial reference for the expected plan-cache footprint of the
+        // same stream: mid-stream (what the batch booking must surface
+        // while the session is open) and total after the flush.
+        let mut serial = dhf_stream::StreamingSeparator::new(fs, 2, scfg.clone()).unwrap();
+        serial.push(&mix, &t).unwrap();
+        let plans_mid_stream = serial.fft_plans_built();
+        serial.flush().unwrap();
+        let plans_total = serial.fft_plans_built();
+        assert!(plans_mid_stream > 0, "fixture must build plans before the flush");
+
+        let manager = SessionManager::new(ServeConfig::new(1).unwrap());
+        let id = manager.open(fs, 2, scfg).unwrap();
+        manager.push(id, &mix, &t).unwrap();
+        // One push is one packet, so one scheduling batch processes it
+        // and books the whole mid-stream delta in a single step — the
+        // gauge goes from 0 straight to the serial reference while the
+        // session is still open. (Before the delta booking it stayed 0
+        // until close.)
+        let deadline = Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let plans = manager.telemetry().plans_built();
+            if plans > 0 {
+                assert_eq!(plans, plans_mid_stream as u64);
+                break;
+            }
+            assert!(Instant::now() < deadline, "plans_built stayed 0 for the open session");
+            std::thread::yield_now();
+        }
+        assert_eq!(manager.open_sessions(), 1, "the gauge must move before close");
+
+        // Close books only the flush residual on top — no double count
+        // of what the batches already booked.
+        manager.close(id).unwrap();
+        assert_eq!(manager.telemetry().plans_built(), plans_total as u64);
+    }
+
     /// Shared oximetry fixture: a short desaturation recording plus the
     /// session configs driving it.
     fn oximetry_fixture() -> (dhf_synth::invivo::TfoRecording, StreamingConfig, OximetryConfig) {

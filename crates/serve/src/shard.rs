@@ -145,6 +145,24 @@ struct WorkerSession {
     /// Samples skipped because the session had already failed — they
     /// never reached the engine, and are reported as dropped at close.
     skipped: usize,
+    /// FFT plans already booked into the shard's `plans_built` gauge.
+    /// Deltas are booked after every scheduling batch that ran this
+    /// session (and once more at close, for anything the flush builds),
+    /// so the fleet gauge tracks live sessions instead of staying flat
+    /// at zero until the first close.
+    plans_booked: usize,
+}
+
+/// Books any FFT plans the engine built since the last booking into the
+/// shard's `plans_built` gauge. The engine's count is monotone, so the
+/// delta is what this batch (or the close-time flush) actually added.
+fn book_plan_delta(ws: &mut WorkerSession, counters: &ShardCounters) {
+    let built = ws.engine.fft_plans_built();
+    let delta = built.saturating_sub(ws.plans_booked);
+    if delta > 0 {
+        counters.plans_built.fetch_add(delta as u64, Ordering::Relaxed);
+        ws.plans_booked = built;
+    }
 }
 
 /// The worker run loop. Exits when `stop` is set and no commands remain.
@@ -192,6 +210,7 @@ pub(crate) fn run_worker(shared: Arc<ShardShared>, counters: Arc<ShardCounters>)
                         accepted: 0,
                         emitted: 0,
                         skipped: 0,
+                        plans_booked: 0,
                     };
                     sessions.insert(id, ws);
                 }
@@ -227,6 +246,7 @@ pub(crate) fn run_worker(shared: Arc<ShardShared>, counters: Arc<ShardCounters>)
                 for item in items {
                     process_item(ws, item, &counters);
                 }
+                book_plan_delta(ws, &counters);
             }
         }
     }
@@ -373,7 +393,8 @@ fn close_session(
     // close-time alike).
     let unflushed = ws.accepted.saturating_sub(ws.emitted);
     counters.dropped_samples.fetch_add(unflushed as u64, Ordering::Relaxed);
-    // Book the session's plan-cache footprint into the shard telemetry.
-    counters.plans_built.fetch_add(ws.engine.fft_plans_built() as u64, Ordering::Relaxed);
+    // Book the residual plan-cache footprint (leftover packets or the
+    // flush may have built plans since the last batch booking).
+    book_plan_delta(ws, counters);
     CloseOutcome { blocks, spo2, dropped_samples: ws.skipped + unflushed, error }
 }

@@ -164,11 +164,13 @@ pub struct ShardSnapshot {
     pub dropped_samples: u64,
     /// SpO2 windows emitted by this shard's oximetry sessions.
     pub spo2_updates: u64,
-    /// FFT plans built by this shard's session engines, booked when each
-    /// session closes. A healthy fleet of same-shape sessions keeps this
-    /// near a small constant per session: every steady-state chunk reuses
-    /// the plans (and the SoA spectrogram workspace) built by its
-    /// session's first chunk.
+    /// FFT plans built by this shard's session engines, booked
+    /// incrementally: the delta after every scheduling batch a session
+    /// ran in, plus a residual at close for anything the flush builds.
+    /// A healthy fleet of same-shape sessions keeps this near a small
+    /// constant per session: every steady-state chunk reuses the plans
+    /// (and the SoA spectrogram workspace) built by its session's first
+    /// chunk, so the gauge plateaus once sessions are warm.
     pub plans_built: u64,
     /// `samples_out` over the manager's lifetime — the shard's sustained
     /// separation throughput.
@@ -221,8 +223,9 @@ impl Telemetry {
         self.shards.iter().map(|s| s.spo2_updates).sum()
     }
 
-    /// Total FFT plans built by session engines across shards (booked at
-    /// session close) — the fleet-wide plan-cache pressure gauge.
+    /// Total FFT plans built by session engines across shards — the
+    /// fleet-wide plan-cache pressure gauge, live for open sessions
+    /// (booked per scheduling batch, not deferred to session close).
     pub fn plans_built(&self) -> u64 {
         self.shards.iter().map(|s| s.plans_built).sum()
     }

@@ -98,4 +98,76 @@ proptest! {
             );
         }
     }
+
+    /// The cross-mode corollary: a served session pinned to the scalar
+    /// SIMD fallback must still be bit-identical to a serial run under
+    /// native dispatch. This is the serving-level proof of the kernel
+    /// layer's bit-identity contract (`dhf_dsp::simd`): SSE2/AVX2/NEON
+    /// may only change which instructions execute, never the samples —
+    /// the same guarantee CI leans on when it re-runs the whole suite
+    /// with `DHF_FORCE_SCALAR=1`.
+    #[test]
+    fn forced_scalar_sessions_match_native_simd_serial_runs(
+        workers in 1usize..4,
+        chunk_len in 2600usize..3400,
+        packet in 250usize..900,
+    ) {
+        let fs = 100.0;
+        let n = 6500;
+        let scfg = StreamingConfig::new(
+            chunk_len,
+            chunk_len / 8,
+            DhfConfig::fast().with_harmonic_interp(),
+        )
+        .unwrap();
+        let (mix, tracks) = make_mix(fs, n, 42);
+
+        // Serial reference under whatever the host natively dispatches.
+        let (want, want_dropped) = separate_streamed(&mix, fs, &tracks, &scfg).unwrap();
+
+        // Served run with every kernel pinned to the scalar reference
+        // (released on every exit path — the override is process-wide).
+        struct AutoDispatch;
+        impl Drop for AutoDispatch {
+            fn drop(&mut self) {
+                dhf_dsp::simd::force_scalar(false);
+            }
+        }
+        let _auto = AutoDispatch;
+        dhf_dsp::simd::force_scalar(true);
+        prop_assert_eq!(dhf_dsp::simd::active_level(), dhf_dsp::simd::Level::Scalar);
+
+        let manager = SessionManager::new(ServeConfig::new(workers).unwrap());
+        let id = manager.open(fs, 2, scfg).unwrap();
+        let mut got = vec![Vec::new(); 2];
+        let mut lo = 0usize;
+        let deliver = |blocks: Vec<dhf_stream::StreamBlock>, got: &mut Vec<Vec<f64>>| {
+            for b in blocks {
+                assert_eq!(got[0].len(), b.start, "blocks out of order");
+                for (src, est) in b.sources.iter().enumerate() {
+                    got[src].extend_from_slice(est);
+                }
+            }
+        };
+        while lo < n {
+            let hi = (lo + packet).min(n);
+            let t: Vec<&[f64]> = tracks.iter().map(|t| &t[lo..hi]).collect();
+            manager.push(id, &mix[lo..hi], &t).unwrap();
+            let out = manager.poll(id).unwrap();
+            prop_assert!(out.error.is_none());
+            deliver(out.blocks, &mut got);
+            lo = hi;
+        }
+        let fin = manager.close(id).unwrap();
+        prop_assert!(fin.error.is_none());
+        prop_assert_eq!(fin.dropped_samples, want_dropped);
+        deliver(fin.blocks, &mut got);
+
+        prop_assert_eq!(
+            &got, &want,
+            "forced-scalar served output differs from the native serial run \
+             (workers {}, chunk {}, packet {})",
+            workers, chunk_len, packet
+        );
+    }
 }

@@ -12,7 +12,9 @@
 //! Knobs: `DHF_FAST=1` shrinks the workload for smoke runs.
 
 use criterion::{criterion_group, Criterion};
-use dhf_bench::{fast_mode, write_bench_json, JsonObject, Stopwatch};
+use dhf_bench::{
+    dhf_iterations, fast_mode, stage_breakdown_json, write_bench_json, JsonObject, Stopwatch,
+};
 use dhf_core::{DhfConfig, RoundContext};
 use dhf_dsp::simd;
 use dhf_stream::{separate_streamed, StreamingConfig, StreamingSeparator};
@@ -183,6 +185,18 @@ fn throughput_summary() {
     simd::force_scalar(false);
     let kernel_ratios = kernel_ab();
 
+    // Stage-level cost breakdown (dhf_obs tracing): the paper-default
+    // configuration versus the fast configuration on the same (shorter)
+    // profile signal. This is the per-stage evidence behind the
+    // "deep-prior fit dominates full-config cost" claim: compare the
+    // nn_fit row across the two tables.
+    let n_prof = if fast_mode() { 3000 } else { 6000 };
+    let (pmix, ptracks) = make_mix(fs, n_prof);
+    let mut full_cfg = DhfConfig::default();
+    full_cfg.inpaint.iterations = dhf_iterations();
+    let full_bd = profile_stages(&pmix, fs, &ptracks, &full_cfg, if fast_mode() { 1 } else { 2 });
+    let fast_bd = profile_stages(&pmix, fs, &ptracks, &DhfConfig::fast(), 3);
+
     let signal_secs = n as f64 / fs;
     let stream_sps = n as f64 / t_stream;
     let offline_sps = n as f64 / t_offline;
@@ -207,6 +221,12 @@ fn throughput_summary() {
         "simd      : {simd_level} kernels {simd_speedup:.2}x over scalar \
          ({offline_scalar_sps:.0} samples/sec forced-scalar)"
     );
+    println!(
+        "\n== stage breakdown, full config ({} iterations, {:.0} s signal) ==\n{full_bd}",
+        full_cfg.inpaint.iterations,
+        n_prof as f64 / fs,
+    );
+    println!("== stage breakdown, fast config (same signal) ==\n{fast_bd}");
 
     let json = JsonObject::new()
         .str("bench", "throughput")
@@ -229,9 +249,44 @@ fn throughput_summary() {
                 .num("offline_samples_per_sec_simd", offline_sps)
                 .num("speedup", simd_speedup)
                 .obj("kernels", kernel_ratios),
+        )
+        .obj(
+            "stage_breakdown",
+            JsonObject::new()
+                .int("profile_signal_samples", n_prof as u64)
+                .int("full_iterations", full_cfg.inpaint.iterations as u64)
+                .obj("full", stage_breakdown_json(&full_bd))
+                .obj("fast", stage_breakdown_json(&fast_bd)),
         );
     let path = write_bench_json("BENCH_dsp.json", &json);
     println!("wrote {}", path.display());
+}
+
+/// Stage-level profile of the offline pipeline under one configuration:
+/// opens the tracing gate, runs `reps` separations, and drains this
+/// thread's span ring into a fresh breakdown. The gate is opened only
+/// around the profiled passes so every timing section above stays
+/// untraced (tracing is cheap, but the summary measures the pipeline,
+/// not the pipeline-plus-profiler).
+fn profile_stages(
+    mix: &[f64],
+    fs: f64,
+    tracks: &[Vec<f64>],
+    cfg: &DhfConfig,
+    reps: usize,
+) -> dhf_obs::StageBreakdown {
+    // Empty the ring first so leftovers from earlier sections cannot
+    // leak into this profile.
+    let mut discard = dhf_obs::StageBreakdown::new();
+    dhf_obs::drain_thread_into(&mut discard);
+    dhf_obs::set_enabled(true);
+    for _ in 0..reps.max(1) {
+        let _ = dhf_core::separate(mix, fs, tracks, cfg).expect("profiled separate");
+    }
+    dhf_obs::set_enabled(false);
+    let mut bd = dhf_obs::StageBreakdown::new();
+    dhf_obs::drain_thread_into(&mut bd);
+    bd
 }
 
 /// Per-kernel scalar-vs-active-level speedups on hot-path-sized buffers,

@@ -14,6 +14,10 @@
 //!   100 Hz).
 //! * `DHF_PACKET` — samples per push (default 250, i.e. 2.5 s packets).
 //! * `DHF_FAST=1` — smoke settings (16 sessions, 20 s streams).
+//! * `DHF_PROFILE=0` — disable `dhf_obs` stage tracing (default on:
+//!   the run records per-stage latency, scrapes the fleet telemetry
+//!   once a second into `stage_profile.jsonl`, and writes the final
+//!   Prometheus exposition next to `BENCH_serve.json`).
 //!
 //! ```sh
 //! cargo run --release -p dhf_bench --bin loadgen
@@ -21,7 +25,10 @@
 //! DHF_SCENARIO=oximetry cargo run --release -p dhf_bench --bin loadgen
 //! ```
 
-use dhf_bench::{env_usize, fast_mode, write_bench_json, JsonObject};
+use dhf_bench::{
+    append_jsonl, bench_json_dir, env_usize, fast_mode, stage_breakdown_json, write_bench_json,
+    JsonObject,
+};
 use dhf_core::DhfConfig;
 use dhf_oximetry::{Calibration, OximetryConfig};
 use dhf_serve::{ServeConfig, SessionManager};
@@ -159,8 +166,56 @@ fn main() {
     }
     assert!(manager.open_sessions() >= 64 || sessions < 64, "loadgen drives >= 64 sessions");
 
+    // Stage tracing (default on): workers record per-stage spans, and a
+    // scraper thread snapshots the fleet telemetry once a second into a
+    // JSON-lines profile so the load window's time course (queue depth,
+    // throughput, per-stage counts) survives the run.
+    let profile = std::env::var("DHF_PROFILE").map(|v| v != "0").unwrap_or(true);
+    dhf_obs::set_enabled(profile);
+    let profile_path = bench_json_dir().join("stage_profile.jsonl");
+    if profile {
+        let _ = std::fs::remove_file(&profile_path);
+    }
+    let stop_scraper = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
     let t0 = Instant::now();
     let (polled, polled_windows) = std::thread::scope(|scope| {
+        if profile {
+            let manager = Arc::clone(&manager);
+            let stop = Arc::clone(&stop_scraper);
+            scope.spawn(move || {
+                // Millisecond ticks so the stop flag is seen promptly
+                // (the scraper join sits inside the measured wall);
+                // one scrape per second of load, plus a final scrape on
+                // the way out so even sub-second runs leave a profile.
+                let mut last_scrape = Instant::now();
+                loop {
+                    let stopping = stop.load(std::sync::atomic::Ordering::Relaxed);
+                    if !stopping && last_scrape.elapsed().as_secs_f64() < 1.0 {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                        continue;
+                    }
+                    last_scrape = Instant::now();
+                    let t = manager.telemetry();
+                    let line = JsonObject::new()
+                        .num("t_secs", t0.elapsed().as_secs_f64())
+                        .int("samples_out", t.samples_out())
+                        .int("packets", t.latency().count())
+                        .int(
+                            "queue_depth_samples",
+                            t.shards.iter().map(|s| s.queue_depth_samples as u64).sum(),
+                        )
+                        .int("queue_depth_hwm_samples", t.queue_depth_hwm())
+                        .int("batch_packets_hwm", t.batch_packets_hwm())
+                        .int("batch_sessions_hwm", t.batch_sessions_hwm())
+                        .obj("stages", stage_breakdown_json(&t.stage_breakdown()));
+                    append_jsonl("stage_profile.jsonl", &line);
+                    if stopping {
+                        break;
+                    }
+                }
+            });
+        }
         let handles: Vec<_> = fleet
             .iter()
             .map(|slice| {
@@ -168,14 +223,20 @@ fn main() {
                 scope.spawn(move || run_client(&manager, slice, packet))
             })
             .collect();
-        handles
+        let out = handles
             .into_iter()
             .map(|h| h.join().expect("client thread"))
-            .fold((0u64, 0u64), |(a, b), (x, y)| (a + x, b + y))
+            .fold((0u64, 0u64), |(a, b), (x, y)| (a + x, b + y));
+        stop_scraper.store(true, std::sync::atomic::Ordering::Relaxed);
+        out
     });
     let manager = Arc::into_inner(manager).expect("all clients joined");
     let report = manager.shutdown().expect("graceful shutdown");
     let wall = t0.elapsed();
+    // Disable only after shutdown: the graceful close processes each
+    // session's queued leftovers and flushes it, and those packets
+    // belong in the stage profile too.
+    dhf_obs::set_enabled(false);
 
     let closed: u64 = report
         .sessions
@@ -245,7 +306,18 @@ fn main() {
         .num("latency_p99_ms", p_ms(99.0))
         .int("packets_processed", telemetry.latency().count())
         .int("plans_built", telemetry.plans_built())
-        .int("dropped_samples", telemetry.dropped_samples());
+        .int("dropped_samples", telemetry.dropped_samples())
+        .int("queue_depth_hwm_samples", telemetry.queue_depth_hwm())
+        .int("batch_packets_hwm", telemetry.batch_packets_hwm())
+        .int("batch_sessions_hwm", telemetry.batch_sessions_hwm());
+    if profile {
+        json = json.obj("stage_breakdown", stage_breakdown_json(&telemetry.stage_breakdown()));
+        // Final Prometheus exposition of the same fleet telemetry — what
+        // a `/metrics` endpoint would have served at shutdown.
+        let prom_path = bench_json_dir().join("loadgen.prom");
+        std::fs::write(&prom_path, telemetry.prometheus()).expect("write prometheus scrape");
+        println!("  wrote {} and {}", prom_path.display(), profile_path.display());
+    }
     if oximetry {
         let stats = telemetry.spo2_stats();
         json = json.obj(

@@ -228,6 +228,38 @@ impl JsonObject {
     }
 }
 
+/// Renders a [`dhf_obs::StageBreakdown`] as a nested JSON object: one
+/// object per non-empty stage (count, mean/p50/p95/max in milliseconds),
+/// plus the ring-overflow tally. This is the `stage_breakdown` block the
+/// `BENCH_*.json` artifacts carry.
+pub fn stage_breakdown_json(b: &dhf_obs::StageBreakdown) -> JsonObject {
+    let ms = |v: Option<f64>| v.map_or(f64::NAN, |s| s * 1e3);
+    let mut out = JsonObject::new();
+    for (stage, h) in b.iter_nonempty() {
+        out = out.obj(
+            stage.name(),
+            JsonObject::new()
+                .int("count", h.count())
+                .num("mean_ms", ms(h.mean()))
+                .num("p50_ms", ms(h.percentile(50.0)))
+                .num("p95_ms", ms(h.percentile(95.0)))
+                .num("max_ms", ms(h.max())),
+        );
+    }
+    out.int("dropped_events", b.dropped_events())
+}
+
+/// Appends `obj` as one JSON-lines record to `<name>` in
+/// [`bench_json_dir`] and returns the path. Used by the loadgen's
+/// periodic telemetry scrape (`stage_profile.jsonl`).
+pub fn append_jsonl(name: &str, obj: &JsonObject) -> PathBuf {
+    let path = bench_json_dir().join(name);
+    let mut file =
+        std::fs::OpenOptions::new().create(true).append(true).open(&path).expect("open jsonl");
+    writeln!(file, "{}", obj.render()).expect("append jsonl");
+    path
+}
+
 /// The workspace `target/` directory, anchored at the workspace root
 /// (`CARGO_TARGET_DIR`, else `crates/bench/../../target`) so bench
 /// targets — whose working directory is the package dir — and bins

@@ -1,0 +1,60 @@
+//! Regression bound on the *disabled* cost of `dhf_obs` tracing.
+//!
+//! The span API sits inside every hot loop of the pipeline, so its
+//! runtime-disabled path must stay at "one relaxed atomic load" cost.
+//! This test times the disabled fast path directly and fails if it ever
+//! grows past a deliberately generous ceiling — loose enough for noisy
+//! shared CI runners (the real cost is a few nanoseconds), tight enough
+//! to catch an accidental allocation, syscall, or lock on the path.
+
+use dhf_obs::Stage;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best-of-`passes` mean cost (seconds/call) of `f` run `iters` times.
+fn per_call(iters: u32, passes: u32, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..passes {
+        let sw = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(sw.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+/// Generous CI-safe ceiling: two orders of magnitude above the measured
+/// cost on a quiet machine, far below anything that touches a lock, the
+/// allocator, or the clock.
+const CEILING_SECS: f64 = 250e-9;
+
+#[test]
+fn disabled_span_guard_is_a_relaxed_load() {
+    dhf_obs::set_enabled(false);
+    let cost = per_call(1_000_000, 3, || {
+        let guard = dhf_obs::span(black_box(Stage::NnFit));
+        black_box(&guard);
+    });
+    assert!(
+        cost < CEILING_SECS,
+        "disabled span guard costs {:.1} ns/call (ceiling {:.0} ns)",
+        cost * 1e9,
+        CEILING_SECS * 1e9,
+    );
+}
+
+#[test]
+fn disabled_record_is_a_relaxed_load() {
+    dhf_obs::set_enabled(false);
+    let cost = per_call(1_000_000, 3, || {
+        dhf_obs::record(black_box(Stage::QueueWait), black_box(1e-6));
+    });
+    assert!(
+        cost < CEILING_SECS,
+        "disabled record costs {:.1} ns/call (ceiling {:.0} ns)",
+        cost * 1e9,
+        CEILING_SECS * 1e9,
+    );
+    assert_eq!(dhf_obs::pending_events(), 0, "disabled record must not enqueue");
+}

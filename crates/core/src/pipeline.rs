@@ -347,7 +347,10 @@ impl RoundContext {
         f0_tracks: &[&[f64]],
         salt_base: u64,
     ) -> Result<SeparationResult, DhfError> {
-        validate_track_refs(mixed.len(), f0_tracks)?;
+        {
+            let _span = dhf_obs::span(dhf_obs::Stage::TrackValidate);
+            validate_track_refs(mixed.len(), f0_tracks)?;
+        }
 
         let order = self.peel_order(mixed, fs, f0_tracks);
         let mut residual = std::mem::take(&mut self.residual);
@@ -464,6 +467,10 @@ impl RoundContext {
         let bins = self.spec.bins();
         let frames = self.spec.frames();
 
+        // Mask build: interferer ridge ratios, magnitude extraction, and
+        // the significance mask rebuild, timed as one stage.
+        let mask_span = dhf_obs::span(dhf_obs::Stage::MaskBuild);
+
         // Interferer ridges: frequency ratios at each frame centre. Inner
         // vectors are reused round to round.
         let mut ri = 0usize;
@@ -502,6 +509,7 @@ impl RoundContext {
             cfg.mask_significance,
         );
         let hidden_fraction = self.mask.hidden_fraction();
+        drop(mask_span);
 
         // Dilation by masking situation (§4.2), capped so the receptive
         // field stays inside the spectrogram.
@@ -520,7 +528,11 @@ impl RoundContext {
         }
 
         self.mask.write_f32_into(&mut self.mask_f32);
+        // The per-round deep-prior fit — the dominant full-config cost
+        // (ROADMAP item 4). A failed fit still records its time.
+        let fit_span = dhf_obs::span(dhf_obs::Stage::NnFit);
         let outcome = inpaint_magnitude(&self.magnitude, bins, frames, &self.mask_f32, &self.icfg)?;
+        drop(fit_span);
 
         // Cyclic phase interpolation across the concealed cells (§3.4),
         // then rebuild the workspace planes in place. When the in-paint
@@ -528,6 +540,7 @@ impl RoundContext {
         // deep prior with `keep_visible`), a visible cell is entirely
         // unchanged, so only the concealed cells need phases interpolated
         // and coefficients rebuilt; otherwise rebuild the full image.
+        let apply_span = dhf_obs::span(dhf_obs::Stage::MaskApply);
         let visible_preserved = self.icfg.keep_visible
             || matches!(self.icfg.method, crate::inpaint::InpaintMethod::HarmonicInterp);
         if visible_preserved {
@@ -555,6 +568,7 @@ impl RoundContext {
             let gain = target_comb_gain(&stft_cfg, comb_harmonics, comb_bw);
             self.spec.scale_bins(&gain);
         }
+        drop(apply_span);
 
         self.engine.istft_into(&self.spec, &mut self.y_un);
         let resynth =

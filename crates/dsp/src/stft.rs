@@ -466,6 +466,9 @@ impl StftEngine {
                 message: format!("needs at least {w} samples, got {}", signal.len()),
             });
         }
+        // Inputs validated: from here the analysis runs to completion,
+        // so the span measures real work only.
+        let _span = dhf_obs::span(dhf_obs::Stage::StftAnalysis);
         let frames = config.frames_for(signal.len());
         self.ensure_window(config.window_kind(), w);
         spec.reset_layout(*config, frames, signal.len());
@@ -495,6 +498,7 @@ impl StftEngine {
     /// half spectrum is read straight from the workspace's contiguous
     /// plane slices.
     pub fn istft_into(&mut self, spec: &Spectrogram, out: &mut Vec<f64>) {
+        let _span = dhf_obs::span(dhf_obs::Stage::Istft);
         let config = spec.config();
         let w = config.window_len();
         let hop = config.hop();

@@ -35,7 +35,7 @@
 /// fleet.merge(&shard);
 /// assert_eq!(fleet.count(), 100);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct LatencyHistogram {
     /// Lower edge of the first regular bucket.
     lo: f64,
@@ -45,12 +45,41 @@ pub struct LatencyHistogram {
     /// buckets sit in between with geometric edges.
     counts: Vec<u64>,
     total: u64,
+    /// Running sum of every recorded value (exact values, not bucket
+    /// midpoints), so [`mean`](LatencyHistogram::mean) is exact up to
+    /// float rounding rather than bucket resolution.
+    sum: f64,
     /// Exact observed extremes (NaN until the first record).
     min_seen: f64,
     max_seen: f64,
     /// Precomputed `ln(lo)` and per-bucket log width.
     ln_lo: f64,
     ln_step: f64,
+}
+
+/// Equality compares the recorded *distribution*: layout, bucket counts,
+/// total, and exact extremes. The running `sum` is deliberately excluded —
+/// its low bits depend on accumulation order, so a merged histogram and
+/// one recorded sequentially can differ by an ulp while holding exactly
+/// the same samples.
+impl PartialEq for LatencyHistogram {
+    fn eq(&self, other: &Self) -> bool {
+        self.lo == other.lo
+            && self.hi == other.hi
+            && self.counts == other.counts
+            && self.total == other.total
+            && option_eq(self.min(), other.min())
+            && option_eq(self.max(), other.max())
+    }
+}
+
+/// NaN-free `Option<f64>` equality (extremes are `None` until recorded).
+fn option_eq(a: Option<f64>, b: Option<f64>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(x), Some(y)) => x == y,
+        _ => false,
+    }
 }
 
 impl LatencyHistogram {
@@ -71,6 +100,7 @@ impl LatencyHistogram {
             hi,
             counts: vec![0; buckets + 2],
             total: 0,
+            sum: 0.0,
             min_seen: f64::NAN,
             max_seen: f64::NAN,
             ln_lo,
@@ -93,6 +123,7 @@ impl LatencyHistogram {
         let idx = self.bucket_index(v);
         self.counts[idx] += 1;
         self.total += 1;
+        self.sum += v;
         // NaN extremes mean "nothing recorded yet".
         if self.min_seen.is_nan() || v < self.min_seen {
             self.min_seen = v;
@@ -130,6 +161,7 @@ impl LatencyHistogram {
             *dst += src;
         }
         self.total += other.total;
+        self.sum += other.sum;
         if other.total > 0 {
             if self.min_seen.is_nan() || other.min_seen < self.min_seen {
                 self.min_seen = other.min_seen;
@@ -143,6 +175,23 @@ impl LatencyHistogram {
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
         self.total
+    }
+
+    /// Sum of every recorded value (`0.0` while empty). Exact recorded
+    /// values are summed, not bucket midpoints, so `sum / count` is the
+    /// true arithmetic mean up to float rounding.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean of the recorded values, or `None` before the
+    /// first record.
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.sum / self.total as f64)
+        }
     }
 
     /// Smallest recorded value, or `None` before the first record.
@@ -351,6 +400,48 @@ mod tests {
                 prev = idx;
             }
         }
+    }
+
+    #[test]
+    fn sum_and_mean_on_empty_histogram() {
+        let h = LatencyHistogram::for_serving();
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn sum_and_mean_track_recorded_values() {
+        let mut h = LatencyHistogram::for_serving();
+        h.record(1e-3);
+        h.record(2e-3);
+        h.record(3e-3);
+        assert!((h.sum() - 6e-3).abs() < 1e-15);
+        assert!((h.mean().unwrap() - 2e-3).abs() < 1e-15);
+        // Non-finite values are dropped from the sum too.
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert!((h.sum() - 6e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn merge_adds_sums_and_means_follow() {
+        let mut a = LatencyHistogram::for_serving();
+        let mut b = LatencyHistogram::for_serving();
+        for i in 1..=10 {
+            a.record(i as f64 * 1e-3);
+        }
+        for i in 1..=5 {
+            b.record(i as f64 * 1e-2);
+        }
+        let (sa, sb) = (a.sum(), b.sum());
+        a.merge(&b);
+        assert!((a.sum() - (sa + sb)).abs() < 1e-12);
+        assert!((a.mean().unwrap() - (sa + sb) / 15.0).abs() < 1e-12);
+
+        // Merging an empty histogram leaves the sum untouched.
+        let before = a.sum();
+        a.merge(&LatencyHistogram::for_serving());
+        assert_eq!(a.sum(), before);
     }
 
     #[test]

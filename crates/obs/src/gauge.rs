@@ -1,0 +1,77 @@
+//! Lock-free gauges for queue-depth and batch-occupancy tracking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotone high-watermark gauge: remembers the largest value ever
+/// observed, updated lock-free from any thread.
+///
+/// Used for queue depth (worst backlog any session reached) and batch
+/// occupancy (largest packet/session batch a worker drained in one
+/// wakeup) — the numbers that size admission-control and batching
+/// decisions, which averages hide.
+///
+/// ```
+/// use dhf_obs::HighWatermark;
+///
+/// let hwm = HighWatermark::new();
+/// hwm.observe(3);
+/// hwm.observe(9);
+/// hwm.observe(5);
+/// assert_eq!(hwm.get(), 9);
+/// ```
+#[derive(Debug, Default)]
+pub struct HighWatermark(AtomicU64);
+
+impl HighWatermark {
+    /// A gauge that has observed nothing (watermark 0).
+    pub fn new() -> Self {
+        HighWatermark(AtomicU64::new(0))
+    }
+
+    /// Raises the watermark to `value` if it is the largest seen so far.
+    /// One relaxed `fetch_max`; safe on any hot path.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The largest value observed so far (0 if none).
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermark_is_monotone() {
+        let hwm = HighWatermark::new();
+        assert_eq!(hwm.get(), 0);
+        hwm.observe(7);
+        hwm.observe(2);
+        assert_eq!(hwm.get(), 7);
+        hwm.observe(11);
+        assert_eq!(hwm.get(), 11);
+    }
+
+    #[test]
+    fn watermark_survives_concurrent_observers() {
+        let hwm = std::sync::Arc::new(HighWatermark::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let hwm = hwm.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        hwm.observe(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(hwm.get(), 3999);
+    }
+}

@@ -1,0 +1,180 @@
+//! Prometheus text-exposition writer.
+
+use crate::breakdown::StageBreakdown;
+use dhf_metrics::LatencyHistogram;
+use std::fmt::Write as _;
+
+/// Builds a Prometheus text-format exposition (version 0.0.4) — the
+/// `# HELP`/`# TYPE`/sample-line format every Prometheus-compatible
+/// scraper accepts.
+///
+/// Histograms are exported as summaries (pre-computed quantiles plus
+/// `_sum`/`_count`) rather than cumulative buckets: the geometric-bucket
+/// layout already bakes in the resolution, and quantile lines keep the
+/// exposition small enough to assemble per scrape with one `String`.
+///
+/// ```
+/// use dhf_obs::PromText;
+///
+/// let mut prom = PromText::new();
+/// prom.help("dhf_open_sessions", "Open sessions per shard", "gauge");
+/// prom.sample("dhf_open_sessions", &[("shard", "0")], 16.0);
+/// let text = prom.render();
+/// assert!(text.contains("dhf_open_sessions{shard=\"0\"} 16"));
+/// ```
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// An empty exposition.
+    pub fn new() -> Self {
+        PromText { out: String::new() }
+    }
+
+    /// Emits the `# HELP` and `# TYPE` header for a metric family.
+    /// `kind` is the Prometheus type: `counter`, `gauge`, or `summary`.
+    pub fn help(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Emits one sample line: `name{labels} value`. Integral values are
+    /// written without a decimal point.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        self.write_labels(labels, &[]);
+        if value.fract() == 0.0 && value.abs() < 1e15 {
+            let _ = writeln!(self.out, " {}", value as i64);
+        } else {
+            let _ = writeln!(self.out, " {value}");
+        }
+    }
+
+    /// Emits a histogram as a Prometheus summary: `quantile`-labelled
+    /// lines for p50/p90/p95/p99, then `name_sum` and `name_count`.
+    /// Extra labels (e.g. `stage="nn_fit"`) apply to every line.
+    pub fn summary(&mut self, name: &str, labels: &[(&str, &str)], hist: &LatencyHistogram) {
+        for (q, p) in [("0.5", 50.0), ("0.9", 90.0), ("0.95", 95.0), ("0.99", 99.0)] {
+            if let Some(v) = hist.percentile(p) {
+                self.out.push_str(name);
+                self.write_labels(labels, &[("quantile", q)]);
+                let _ = writeln!(self.out, " {v}");
+            }
+        }
+        self.out.push_str(name);
+        self.out.push_str("_sum");
+        self.write_labels(labels, &[]);
+        let _ = writeln!(self.out, " {}", hist.sum());
+        self.out.push_str(name);
+        self.out.push_str("_count");
+        self.write_labels(labels, &[]);
+        let _ = writeln!(self.out, " {}", hist.count());
+    }
+
+    /// Emits a whole [`StageBreakdown`] as one summary family with a
+    /// `stage` label per non-empty stage (plus any shared labels).
+    pub fn stage_summaries(&mut self, name: &str, labels: &[(&str, &str)], b: &StageBreakdown) {
+        for (stage, hist) in b.iter_nonempty() {
+            let mut all: Vec<(&str, &str)> = labels.to_vec();
+            all.push(("stage", stage.name()));
+            self.summary(name, &all, hist);
+        }
+    }
+
+    /// Consumes the builder and returns the exposition text.
+    pub fn render(self) -> String {
+        self.out
+    }
+
+    fn write_labels(&mut self, labels: &[(&str, &str)], extra: &[(&str, &str)]) {
+        if labels.is_empty() && extra.is_empty() {
+            return;
+        }
+        self.out.push('{');
+        for (i, (k, v)) in labels.iter().chain(extra).enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            // Minimal escaping: our label values are shard indices and
+            // stage names, but quotes/backslashes must never corrupt the
+            // exposition.
+            let _ = write!(self.out, "{k}=\"");
+            for c in v.chars() {
+                match c {
+                    '"' => self.out.push_str("\\\""),
+                    '\\' => self.out.push_str("\\\\"),
+                    '\n' => self.out.push_str("\\n"),
+                    _ => self.out.push(c),
+                }
+            }
+            self.out.push('"');
+        }
+        self.out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::Stage;
+
+    #[test]
+    fn counter_and_gauge_lines_are_well_formed() {
+        let mut prom = PromText::new();
+        prom.help("dhf_packets_total", "Packets processed", "counter");
+        prom.sample("dhf_packets_total", &[("shard", "2")], 1234.0);
+        prom.sample("dhf_queue_depth", &[], 0.5);
+        let text = prom.render();
+        assert!(text.contains("# HELP dhf_packets_total Packets processed"));
+        assert!(text.contains("# TYPE dhf_packets_total counter"));
+        assert!(text.contains("dhf_packets_total{shard=\"2\"} 1234"));
+        assert!(text.contains("dhf_queue_depth 0.5"));
+    }
+
+    #[test]
+    fn summary_emits_quantiles_sum_and_count() {
+        let mut h = LatencyHistogram::for_serving();
+        for i in 1..=100 {
+            h.record(i as f64 * 1e-3);
+        }
+        let mut prom = PromText::new();
+        prom.summary("dhf_latency_seconds", &[], &h);
+        let text = prom.render();
+        assert!(text.contains("dhf_latency_seconds{quantile=\"0.5\"}"));
+        assert!(text.contains("dhf_latency_seconds{quantile=\"0.99\"}"));
+        assert!(text.contains("dhf_latency_seconds_count 100"));
+        assert!(text.contains("dhf_latency_seconds_sum "));
+    }
+
+    #[test]
+    fn empty_summary_still_reports_zero_count() {
+        let h = LatencyHistogram::for_serving();
+        let mut prom = PromText::new();
+        prom.summary("dhf_latency_seconds", &[("shard", "0")], &h);
+        let text = prom.render();
+        assert!(!text.contains("quantile"));
+        assert!(text.contains("dhf_latency_seconds_count{shard=\"0\"} 0"));
+    }
+
+    #[test]
+    fn stage_summaries_label_each_stage() {
+        let mut b = StageBreakdown::new();
+        b.record(Stage::NnFit, 2e-3);
+        b.record(Stage::Istft, 1e-4);
+        let mut prom = PromText::new();
+        prom.stage_summaries("dhf_stage_seconds", &[], &b);
+        let text = prom.render();
+        assert!(text.contains("dhf_stage_seconds{stage=\"nn_fit\",quantile=\"0.5\"}"));
+        assert!(text.contains("dhf_stage_seconds_count{stage=\"istft\"} 1"));
+        assert!(!text.contains("mask_build"), "empty stages are omitted");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut prom = PromText::new();
+        prom.sample("m", &[("k", "a\"b\\c\nd")], 1.0);
+        assert_eq!(prom.render(), "m{k=\"a\\\"b\\\\c\\nd\"} 1\n");
+    }
+}

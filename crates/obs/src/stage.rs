@@ -1,0 +1,126 @@
+//! The span taxonomy: one variant per instrumented pipeline stage.
+
+use std::fmt;
+
+/// An instrumented stage of the separation/serving pipeline.
+///
+/// The taxonomy is deliberately flat and closed: a `u8`-sized enum keeps
+/// events `Copy` and lets [`StageBreakdown`](crate::StageBreakdown)
+/// index histograms by `stage as usize` with no hashing. To add a stage,
+/// add a variant, extend [`Stage::ALL`] and [`Stage::name`], and drop a
+/// [`span`](crate::span) at the call site — everything downstream
+/// (aggregation, `Display` tables, both exporters) picks it up from
+/// `ALL`.
+///
+/// Stages nest (a `ChunkAdvance` contains `StftAnalysis` etc.; an
+/// `EngineRun` contains a `ChunkAdvance`), and each span records its
+/// *inclusive* wall time, so parent stages are upper bounds on the sum
+/// of their children, not disjoint partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Stage {
+    /// `core::pipeline` — validating fundamental-frequency track inputs.
+    TrackValidate = 0,
+    /// `dhf_dsp` — forward STFT analysis of one signal.
+    StftAnalysis,
+    /// `core::pipeline` — rebuilding the significance mask from
+    /// harmonic ratios.
+    MaskBuild,
+    /// `core::pipeline` — the per-round deep-prior fit (magnitude
+    /// inpainting), the dominant full-config cost.
+    NnFit,
+    /// `core::pipeline` — applying the mask: hidden-cell
+    /// reconstruction, phase restoration, comb scaling.
+    MaskApply,
+    /// `dhf_dsp` — inverse STFT and windowed overlap-add.
+    Istft,
+    /// `dhf_stream` — one steady-state chunk advance (separate +
+    /// stitch).
+    ChunkAdvance,
+    /// `dhf_stream` — the final partial-chunk flush.
+    ChunkFlush,
+    /// `dhf_serve` — time a packet sat queued before a worker picked
+    /// it up.
+    QueueWait,
+    /// `dhf_serve` — one session's engine run over a batch of packets.
+    EngineRun,
+    /// `dhf_serve` — one worker wakeup processing its whole drained
+    /// batch.
+    BatchRun,
+}
+
+impl Stage {
+    /// Number of stages in the taxonomy.
+    pub const COUNT: usize = 11;
+
+    /// Every stage, in pipeline order. Indexing invariant:
+    /// `Stage::ALL[s as usize] == s`.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::TrackValidate,
+        Stage::StftAnalysis,
+        Stage::MaskBuild,
+        Stage::NnFit,
+        Stage::MaskApply,
+        Stage::Istft,
+        Stage::ChunkAdvance,
+        Stage::ChunkFlush,
+        Stage::QueueWait,
+        Stage::EngineRun,
+        Stage::BatchRun,
+    ];
+
+    /// Stable snake_case name, used as the metric label in both
+    /// exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::TrackValidate => "track_validate",
+            Stage::StftAnalysis => "stft_analysis",
+            Stage::MaskBuild => "mask_build",
+            Stage::NnFit => "nn_fit",
+            Stage::MaskApply => "mask_apply",
+            Stage::Istft => "istft",
+            Stage::ChunkAdvance => "chunk_advance",
+            Stage::ChunkFlush => "chunk_flush",
+            Stage::QueueWait => "queue_wait",
+            Stage::EngineRun => "engine_run",
+            Stage::BatchRun => "batch_run",
+        }
+    }
+
+    /// Position in [`Stage::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_consistent_with_discriminants() {
+        assert_eq!(Stage::ALL.len(), Stage::COUNT);
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i, "{s}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique_snake_case() {
+        let mut seen = std::collections::HashSet::new();
+        for s in Stage::ALL {
+            assert!(seen.insert(s.name()), "duplicate name {}", s.name());
+            assert!(
+                s.name().chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "{} is not snake_case",
+                s.name()
+            );
+        }
+    }
+}

@@ -113,7 +113,7 @@ impl SessionManager {
         let shards = (0..cfg.workers())
             .map(|_| {
                 let shared = Arc::new(ShardShared::default());
-                let counters = Arc::new(ShardCounters::default());
+                let counters = Arc::new(ShardCounters::new());
                 let (s, c) = (Arc::clone(&shared), Arc::clone(&counters));
                 let join = std::thread::spawn(move || run_worker(s, c));
                 ShardHandle { shared, counters, join: Some(join) }
@@ -383,6 +383,7 @@ impl SessionManager {
         q.enqueued_total += incoming;
         let queued_samples = q.queued_samples;
         drop(st);
+        handle.counters.queue_depth_hwm.observe(queued_samples as u64);
 
         handle.counters.samples_in.fetch_add(incoming as u64, Ordering::Relaxed);
         if dropped > 0 {
@@ -846,6 +847,99 @@ mod tests {
         let p50 = telemetry.latency_percentile(50.0).unwrap();
         let p99 = telemetry.latency_percentile(99.0).unwrap();
         assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn samples_per_sec_uses_the_active_window_not_the_idle_tail() {
+        let fs = 100.0;
+        let n = 6200;
+        let (mix, tracks) = make_mix(fs, n, 2);
+        let t: Vec<&[f64]> = tracks.iter().map(Vec::as_slice).collect();
+        let manager = SessionManager::new(ServeConfig::new(1).unwrap());
+        let id = manager.open(fs, 2, stream_cfg(3000, 600)).unwrap();
+        manager.push(id, &mix, &t).unwrap();
+        manager.close(id).unwrap();
+
+        let quiesced = manager.telemetry();
+        assert!(quiesced.samples_per_sec() > 0.0);
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        let later = manager.telemetry();
+        // Wall time moved on; the active window (and therefore the
+        // reported throughput) must not.
+        assert!(later.elapsed > quiesced.elapsed);
+        assert!(
+            later.active_secs() + 0.3 < later.elapsed.as_secs_f64(),
+            "active window must exclude the idle tail: active {} vs wall {}",
+            later.active_secs(),
+            later.elapsed.as_secs_f64()
+        );
+        let drift = (later.samples_per_sec() - quiesced.samples_per_sec()).abs()
+            / quiesced.samples_per_sec();
+        assert!(drift < 1e-9, "throughput must be stable across an idle tail, drift {drift}");
+    }
+
+    #[test]
+    fn tracing_fills_stage_breakdown_gauges_and_exporters() {
+        let fs = 100.0;
+        let n = 6200;
+        let (mix, tracks) = make_mix(fs, n, 3);
+        let manager = SessionManager::new(ServeConfig::new(1).unwrap());
+        let id = manager.open(fs, 2, stream_cfg(3000, 600)).unwrap();
+        dhf_obs::set_enabled(true);
+        for lo in (0..n).step_by(700) {
+            let hi = (lo + 700).min(n);
+            let t: Vec<&[f64]> = tracks.iter().map(|t| &t[lo..hi]).collect();
+            manager.push(id, &mix[lo..hi], &t).unwrap();
+        }
+        // Let the worker drain the queue through its batch path (a close
+        // issued immediately would route every packet through the
+        // close-leftovers path instead, and no scheduling batch would
+        // ever run).
+        let deadline = Instant::now() + std::time::Duration::from_secs(30);
+        while manager.telemetry().shards.iter().any(|s| s.queue_depth_samples > 0) {
+            assert!(Instant::now() < deadline, "worker never drained the queue");
+            std::thread::yield_now();
+        }
+        manager.close(id).unwrap();
+        dhf_obs::set_enabled(false);
+
+        let telemetry = manager.telemetry();
+        let stages = telemetry.stage_breakdown();
+        assert!(!stages.is_empty(), "tracing was on: the breakdown must have samples");
+        // Every layer contributed: serve scheduling, stream chunking, and
+        // the core/dsp pipeline stages inside each chunk.
+        for stage in [
+            dhf_obs::Stage::QueueWait,
+            dhf_obs::Stage::EngineRun,
+            dhf_obs::Stage::BatchRun,
+            dhf_obs::Stage::ChunkAdvance,
+            dhf_obs::Stage::StftAnalysis,
+            dhf_obs::Stage::MaskBuild,
+            dhf_obs::Stage::Istft,
+        ] {
+            assert!(stages.stage(stage).count() > 0, "no samples for stage {stage}");
+        }
+        // Packet-level spans cover every processed packet.
+        let packets: u64 = telemetry.shards.iter().map(|s| s.packets_processed).sum();
+        assert_eq!(stages.stage(dhf_obs::Stage::QueueWait).count(), packets);
+        assert_eq!(stages.stage(dhf_obs::Stage::EngineRun).count(), packets);
+
+        // Occupancy gauges moved.
+        assert!(telemetry.queue_depth_hwm() > 0);
+        assert!(telemetry.batch_packets_hwm() > 0);
+        assert!(telemetry.batch_sessions_hwm() > 0);
+
+        // Both human and machine renderings carry the new columns/blocks.
+        let table = telemetry.to_string();
+        assert!(table.contains(" plans "), "per-shard plans column:\n{table}");
+        assert!(table.contains("spo2"), "per-shard spo2 column:\n{table}");
+        assert!(table.contains("stages (fleet"), "stage summary:\n{table}");
+        assert!(table.contains("engine_run"), "stage rows:\n{table}");
+        let prom = telemetry.prometheus();
+        assert!(prom.contains("# TYPE dhf_stage_seconds summary"));
+        assert!(prom.contains("dhf_stage_seconds{stage=\"chunk_advance\",quantile=\"0.5\"}"));
+        assert!(prom.contains("dhf_samples_out_total{shard=\"0\"}"));
+        assert!(prom.contains("dhf_queue_depth_hwm_samples{shard=\"0\"}"));
     }
 
     #[test]

@@ -216,7 +216,14 @@ pub(crate) fn run_worker(shared: Arc<ShardShared>, counters: Arc<ShardCounters>)
                 }
                 Command::Close { id, leftovers, ack } => {
                     let outcome = match sessions.remove(&id) {
-                        Some(mut ws) => close_session(&mut ws, leftovers, &counters),
+                        Some(mut ws) => {
+                            let out = close_session(&mut ws, leftovers, &counters);
+                            // Drain before acking: a telemetry snapshot
+                            // taken right after close() returns must see
+                            // the spans the close just produced.
+                            drain_spans(&counters);
+                            out
+                        }
                         // Unreachable through the manager API (the entry
                         // existed until this command), but don't wedge the
                         // caller if it ever happens.
@@ -238,17 +245,33 @@ pub(crate) fn run_worker(shared: Arc<ShardShared>, counters: Arc<ShardCounters>)
         batches.sort_unstable_by_key(|(id, _)| *id);
         if !batches.is_empty() {
             counters.batches_run.fetch_add(1, Ordering::Relaxed);
-        }
-        for (id, items) in batches {
-            // A batch can outlive its session only by racing a close, and
-            // close drains the queue first — but stay defensive.
-            if let Some(ws) = sessions.get_mut(&id) {
-                for item in items {
-                    process_item(ws, item, &counters);
+            counters.batch_sessions_hwm.observe(batches.len() as u64);
+            counters
+                .batch_packets_hwm
+                .observe(batches.iter().map(|(_, items)| items.len() as u64).sum());
+            let batch_span = dhf_obs::span(dhf_obs::Stage::BatchRun);
+            for (id, items) in batches {
+                // A batch can outlive its session only by racing a close,
+                // and close drains the queue first — but stay defensive.
+                if let Some(ws) = sessions.get_mut(&id) {
+                    for item in items {
+                        process_item(ws, item, &counters);
+                    }
+                    book_plan_delta(ws, &counters);
                 }
-                book_plan_delta(ws, &counters);
             }
+            drop(batch_span);
         }
+        drain_spans(&counters);
+    }
+}
+
+/// Moves the worker thread's accumulated span events into the shard's
+/// stage breakdown. Called once per wakeup, after commands and batches —
+/// the pending check keeps the no-tracing path lock-free.
+fn drain_spans(counters: &ShardCounters) {
+    if dhf_obs::pending_events() > 0 {
+        dhf_obs::drain_thread_into(&mut counters.stages.lock().unwrap());
     }
 }
 
@@ -258,6 +281,8 @@ pub(crate) fn run_worker(shared: Arc<ShardShared>, counters: Arc<ShardCounters>)
 /// (tallied in `WorkerSession::skipped` for the close-time books and in
 /// the shard's dropped counter immediately).
 fn process_item(ws: &mut WorkerSession, item: IngestItem, counters: &ShardCounters) {
+    // Queue wait is scheduling cost, real whether or not the engine runs.
+    dhf_obs::record(dhf_obs::Stage::QueueWait, item.enqueued_at.elapsed().as_secs_f64());
     if ws.failed {
         ws.skipped += item.len();
         counters.dropped_samples.fetch_add(item.len() as u64, Ordering::Relaxed);
@@ -268,6 +293,7 @@ fn process_item(ws: &mut WorkerSession, item: IngestItem, counters: &ShardCounte
     // separation failure — which happens *after* the engine buffered the
     // samples. Either way the engine accepted them.
     ws.accepted += item.len();
+    let run_span = dhf_obs::span(dhf_obs::Stage::EngineRun);
     match &mut ws.engine {
         Engine::Separation(sep) => match sep.push(&item.samples, &track_refs) {
             Ok(blocks) => {
@@ -307,8 +333,10 @@ fn process_item(ws: &mut WorkerSession, item: IngestItem, counters: &ShardCounte
             }
         }
     }
+    drop(run_span);
     counters.packets_processed.fetch_add(1, Ordering::Relaxed);
     counters.latency.lock().unwrap().record(item.enqueued_at.elapsed().as_secs_f64());
+    counters.touch();
 }
 
 /// Hands completed SpO2 windows to the mailbox and books their trend

@@ -1,16 +1,21 @@
 //! Serving telemetry: per-shard counters and point-in-time snapshots.
 
 use dhf_metrics::LatencyHistogram;
+use dhf_obs::{HighWatermark, PromText, StageBreakdown};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Live per-shard counters, shared between the manager (writers on the
 /// push path) and the worker thread (writers on the processing path).
-/// Everything hot is an atomic; only the latency histogram takes a lock,
-/// and only once per processed packet.
-#[derive(Debug, Default)]
+/// Everything hot is an atomic; the latency histogram takes a lock once
+/// per processed packet, and the stage breakdown once per worker wakeup
+/// (the worker drains its thread-local span ring in bulk).
+#[derive(Debug)]
 pub(crate) struct ShardCounters {
+    /// When the counters were created — the epoch `last_activity_nanos`
+    /// is measured against.
+    t0: Instant,
     pub(crate) samples_in: AtomicU64,
     pub(crate) samples_out: AtomicU64,
     pub(crate) blocks_emitted: AtomicU64,
@@ -20,11 +25,53 @@ pub(crate) struct ShardCounters {
     pub(crate) dropped_samples: AtomicU64,
     pub(crate) spo2_updates: AtomicU64,
     pub(crate) plans_built: AtomicU64,
+    /// Nanoseconds since `t0` at which the worker last finished a packet
+    /// (0 = never). Advanced with one relaxed `fetch_max` per packet;
+    /// bounds the *active* window for throughput so idle tails (a
+    /// snapshot long after `shutdown`) don't dilute samples/s.
+    last_activity_nanos: AtomicU64,
+    /// Worst per-session ingestion backlog any push left behind.
+    pub(crate) queue_depth_hwm: HighWatermark,
+    /// Largest packet count one worker wakeup drained.
+    pub(crate) batch_packets_hwm: HighWatermark,
+    /// Largest session count one worker wakeup drained.
+    pub(crate) batch_sessions_hwm: HighWatermark,
     pub(crate) latency: Mutex<LatencyHistogram>,
     pub(crate) spo2: Mutex<Spo2Stats>,
+    /// Per-stage span aggregation, fed by the worker's ring drain (empty
+    /// unless `dhf_obs` tracing is enabled).
+    pub(crate) stages: Mutex<StageBreakdown>,
 }
 
 impl ShardCounters {
+    pub(crate) fn new() -> Self {
+        ShardCounters {
+            t0: Instant::now(),
+            samples_in: AtomicU64::new(0),
+            samples_out: AtomicU64::new(0),
+            blocks_emitted: AtomicU64::new(0),
+            packets_processed: AtomicU64::new(0),
+            batches_run: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+            dropped_samples: AtomicU64::new(0),
+            spo2_updates: AtomicU64::new(0),
+            plans_built: AtomicU64::new(0),
+            last_activity_nanos: AtomicU64::new(0),
+            queue_depth_hwm: HighWatermark::new(),
+            batch_packets_hwm: HighWatermark::new(),
+            batch_sessions_hwm: HighWatermark::new(),
+            latency: Mutex::new(LatencyHistogram::for_serving()),
+            spo2: Mutex::new(Spo2Stats::default()),
+            stages: Mutex::new(StageBreakdown::new()),
+        }
+    }
+
+    /// Marks "work just finished now" for the quiesce-aware throughput
+    /// window. Called by the worker after each processed packet.
+    pub(crate) fn touch(&self) {
+        self.last_activity_nanos.fetch_max(self.t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(
         &self,
         shard: usize,
@@ -34,6 +81,11 @@ impl ShardCounters {
     ) -> ShardSnapshot {
         let samples_out = self.samples_out.load(Ordering::Relaxed);
         let secs = elapsed.as_secs_f64();
+        // The active window ends at the last processed packet, clamped to
+        // the manager's wall clock (the two epochs differ by thread-spawn
+        // microseconds).
+        let active_secs =
+            (self.last_activity_nanos.load(Ordering::Relaxed) as f64 * 1e-9).min(secs);
         ShardSnapshot {
             shard,
             open_sessions,
@@ -47,9 +99,14 @@ impl ShardCounters {
             dropped_samples: self.dropped_samples.load(Ordering::Relaxed),
             spo2_updates: self.spo2_updates.load(Ordering::Relaxed),
             plans_built: self.plans_built.load(Ordering::Relaxed),
-            samples_per_sec: if secs > 0.0 { samples_out as f64 / secs } else { 0.0 },
+            active_secs,
+            samples_per_sec: if active_secs > 0.0 { samples_out as f64 / active_secs } else { 0.0 },
+            queue_depth_hwm: self.queue_depth_hwm.get(),
+            batch_packets_hwm: self.batch_packets_hwm.get(),
+            batch_sessions_hwm: self.batch_sessions_hwm.get(),
             latency: self.latency.lock().unwrap().clone(),
             spo2: self.spo2.lock().unwrap().clone(),
+            stages: self.stages.lock().unwrap().clone(),
         }
     }
 }
@@ -172,9 +229,23 @@ pub struct ShardSnapshot {
     /// (and the SoA spectrogram workspace) built by its session's first
     /// chunk, so the gauge plateaus once sessions are warm.
     pub plans_built: u64,
-    /// `samples_out` over the manager's lifetime — the shard's sustained
-    /// separation throughput.
+    /// Length of the shard's *active* window in seconds: manager start
+    /// until the worker last finished a packet (0 while nothing has been
+    /// processed), clamped to the snapshot's wall clock.
+    pub active_secs: f64,
+    /// `samples_out` over the shard's active window (see
+    /// [`active_secs`](ShardSnapshot::active_secs)) — the shard's
+    /// sustained separation throughput, unaffected by how long after
+    /// quiescing the snapshot is taken.
     pub samples_per_sec: f64,
+    /// Worst per-session ingestion backlog (samples) any push left
+    /// behind on this shard.
+    pub queue_depth_hwm: u64,
+    /// Largest packet count one worker wakeup drained in a single batch.
+    pub batch_packets_hwm: u64,
+    /// Largest session count one worker wakeup drained in a single
+    /// batch.
+    pub batch_sessions_hwm: u64,
     /// Ingestion latency distribution in seconds, one record per packet:
     /// enqueue (push accepted) until the worker finished processing the
     /// packet — at which point any output the packet completed is in the
@@ -185,6 +256,10 @@ pub struct ShardSnapshot {
     /// Aggregate SpO2 trend statistics over this shard's oximetry
     /// sessions (empty if the shard serves none).
     pub spo2: Spo2Stats,
+    /// Per-stage latency breakdown from `dhf_obs` spans drained by this
+    /// shard's worker (empty unless tracing was enabled — see
+    /// [`dhf_obs::set_enabled`]).
+    pub stages: StageBreakdown,
 }
 
 /// Snapshot of the whole runtime, taken by
@@ -239,14 +314,52 @@ impl Telemetry {
         merged
     }
 
-    /// Aggregate separation throughput in samples per second.
+    /// Length of the fleet's active window in seconds: manager start
+    /// until *any* worker last finished a packet. 0 while nothing has
+    /// been processed.
+    pub fn active_secs(&self) -> f64 {
+        self.shards.iter().map(|s| s.active_secs).fold(0.0, f64::max)
+    }
+
+    /// Aggregate separation throughput in samples per second, measured
+    /// over the **active window** ([`active_secs`](Telemetry::active_secs)):
+    /// manager start until the last packet any worker finished. A
+    /// snapshot taken after [`shutdown`](crate::SessionManager::shutdown)
+    /// — or after any idle tail — therefore reports the rate the fleet
+    /// actually sustained while working, not that rate diluted by wall
+    /// time spent quiesced. 0.0 before the first processed packet.
     pub fn samples_per_sec(&self) -> f64 {
-        let secs = self.elapsed.as_secs_f64();
+        let secs = self.active_secs();
         if secs > 0.0 {
             self.samples_out() as f64 / secs
         } else {
             0.0
         }
+    }
+
+    /// All shards' stage breakdowns merged into one fleet-wide view
+    /// (empty unless `dhf_obs` tracing was enabled during the run).
+    pub fn stage_breakdown(&self) -> StageBreakdown {
+        let mut merged = StageBreakdown::new();
+        for s in &self.shards {
+            merged.merge(&s.stages);
+        }
+        merged
+    }
+
+    /// Worst per-session ingestion backlog (samples) across the fleet.
+    pub fn queue_depth_hwm(&self) -> u64 {
+        self.shards.iter().map(|s| s.queue_depth_hwm).max().unwrap_or(0)
+    }
+
+    /// Largest packet batch any worker drained in one wakeup.
+    pub fn batch_packets_hwm(&self) -> u64 {
+        self.shards.iter().map(|s| s.batch_packets_hwm).max().unwrap_or(0)
+    }
+
+    /// Largest session batch any worker drained in one wakeup.
+    pub fn batch_sessions_hwm(&self) -> u64 {
+        self.shards.iter().map(|s| s.batch_sessions_hwm).max().unwrap_or(0)
     }
 
     /// All shards' latency histograms merged into one fleet-wide view.
@@ -263,19 +376,113 @@ impl Telemetry {
     pub fn latency_percentile(&self, p: f64) -> Option<f64> {
         self.latency().percentile(p)
     }
+
+    /// Renders the snapshot as a Prometheus text exposition (format
+    /// 0.0.4): per-shard counters and gauges, the fleet ingestion-latency
+    /// summary, and — when tracing was enabled — one `dhf_stage_seconds`
+    /// summary per pipeline stage.
+    pub fn prometheus(&self) -> String {
+        let mut prom = PromText::new();
+        struct Counter(&'static str, &'static str, fn(&ShardSnapshot) -> f64);
+        let counters = [
+            Counter("dhf_samples_in_total", "Samples accepted into ingestion queues", |s| {
+                s.samples_in as f64
+            }),
+            Counter("dhf_samples_out_total", "Separated samples emitted", |s| s.samples_out as f64),
+            Counter("dhf_packets_total", "Ingest packets run through session engines", |s| {
+                s.packets_processed as f64
+            }),
+            Counter("dhf_batches_total", "Scheduling batches executed", |s| s.batches_run as f64),
+            Counter("dhf_busy_rejections_total", "Pushes rejected by backpressure", |s| {
+                s.busy_rejections as f64
+            }),
+            Counter("dhf_dropped_samples_total", "Samples evicted or skipped", |s| {
+                s.dropped_samples as f64
+            }),
+            Counter("dhf_spo2_updates_total", "SpO2 windows emitted", |s| s.spo2_updates as f64),
+            Counter("dhf_plans_built_total", "FFT plans built by session engines", |s| {
+                s.plans_built as f64
+            }),
+        ];
+        for Counter(name, help, get) in counters {
+            prom.help(name, help, "counter");
+            for s in &self.shards {
+                let shard = s.shard.to_string();
+                prom.sample(name, &[("shard", &shard)], get(s));
+            }
+        }
+        struct Gauge(&'static str, &'static str, fn(&ShardSnapshot) -> f64);
+        let gauges = [
+            Gauge("dhf_open_sessions", "Sessions currently owned by the shard", |s| {
+                s.open_sessions as f64
+            }),
+            Gauge("dhf_queue_depth_samples", "Samples waiting in ingestion queues", |s| {
+                s.queue_depth_samples as f64
+            }),
+            Gauge(
+                "dhf_queue_depth_hwm_samples",
+                "Worst per-session ingestion backlog observed",
+                |s| s.queue_depth_hwm as f64,
+            ),
+            Gauge("dhf_batch_packets_hwm", "Largest packet batch one wakeup drained", |s| {
+                s.batch_packets_hwm as f64
+            }),
+            Gauge("dhf_batch_sessions_hwm", "Largest session batch one wakeup drained", |s| {
+                s.batch_sessions_hwm as f64
+            }),
+        ];
+        for Gauge(name, help, get) in gauges {
+            prom.help(name, help, "gauge");
+            for s in &self.shards {
+                let shard = s.shard.to_string();
+                prom.sample(name, &[("shard", &shard)], get(s));
+            }
+        }
+        prom.help(
+            "dhf_samples_per_sec",
+            "Fleet separation throughput over the active window",
+            "gauge",
+        );
+        prom.sample("dhf_samples_per_sec", &[], self.samples_per_sec());
+        prom.help(
+            "dhf_ingest_latency_seconds",
+            "Enqueue-to-processed packet latency (fleet)",
+            "summary",
+        );
+        prom.summary("dhf_ingest_latency_seconds", &[], &self.latency());
+        let stages = self.stage_breakdown();
+        if !stages.is_empty() {
+            prom.help(
+                "dhf_stage_seconds",
+                "Per-stage pipeline latency from dhf_obs spans (fleet)",
+                "summary",
+            );
+            prom.stage_summaries("dhf_stage_seconds", &[], &stages);
+        }
+        prom.render()
+    }
 }
 
 impl std::fmt::Display for Telemetry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{:>5} {:>8} {:>10} {:>12} {:>12} {:>9} {:>8} {:>8}",
-            "shard", "sessions", "queue", "samples/s", "samples out", "packets", "busy", "dropped"
+            "{:>5} {:>8} {:>10} {:>12} {:>12} {:>9} {:>8} {:>8} {:>7} {:>7}",
+            "shard",
+            "sessions",
+            "queue",
+            "samples/s",
+            "samples out",
+            "packets",
+            "busy",
+            "dropped",
+            "plans",
+            "spo2",
         )?;
         for s in &self.shards {
             writeln!(
                 f,
-                "{:>5} {:>8} {:>10} {:>12.0} {:>12} {:>9} {:>8} {:>8}",
+                "{:>5} {:>8} {:>10} {:>12.0} {:>12} {:>9} {:>8} {:>8} {:>7} {:>7}",
                 s.shard,
                 s.open_sessions,
                 s.queue_depth_samples,
@@ -284,6 +491,8 @@ impl std::fmt::Display for Telemetry {
                 s.packets_processed,
                 s.busy_rejections,
                 s.dropped_samples,
+                s.plans_built,
+                s.spo2_updates,
             )?;
         }
         let fmt_ms = |p: Option<f64>| match p {
@@ -292,8 +501,10 @@ impl std::fmt::Display for Telemetry {
         };
         writeln!(
             f,
-            "total: {:.0} samples/s over {:.2} s; {} plans; latency p50 {} / p95 {} / p99 {}",
+            "total: {:.0} samples/s over {:.2} s active ({:.2} s wall); {} plans; \
+             latency p50 {} / p95 {} / p99 {}",
             self.samples_per_sec(),
+            self.active_secs(),
             self.elapsed.as_secs_f64(),
             self.plans_built(),
             fmt_ms(self.latency_percentile(50.0)),
@@ -310,6 +521,15 @@ impl std::fmt::Display for Telemetry {
                 mean,
                 max,
             )?;
+        }
+        // Stage-level breakdown, right-aligned under the shard table
+        // (only rendered when tracing captured something).
+        let stages = self.stage_breakdown();
+        if !stages.is_empty() {
+            writeln!(f, "stages (fleet, dhf_obs tracing):")?;
+            for line in stages.to_string().lines() {
+                writeln!(f, "  {line}")?;
+            }
         }
         Ok(())
     }

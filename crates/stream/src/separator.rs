@@ -268,6 +268,7 @@ impl StreamingSeparator {
 
     /// Separates the chunk at `next_start` and emits its stride.
     fn process_chunk(&mut self) -> Result<StreamBlock, StreamError> {
+        let _span = dhf_obs::span(dhf_obs::Stage::ChunkAdvance);
         let s = self.next_start;
         let chunk_len = self.cfg.chunk_len();
         let overlap = self.cfg.overlap();
@@ -332,6 +333,7 @@ impl StreamingSeparator {
     ///
     /// Propagates non-length chunk separation failures.
     pub fn flush(&mut self) -> Result<FlushOutcome, StreamError> {
+        let _span = dhf_obs::span(dhf_obs::Stage::ChunkFlush);
         let s = self.next_start;
         let end = self.ingested;
         let overlap = self.cfg.overlap();

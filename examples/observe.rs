@@ -1,0 +1,94 @@
+//! Observability demo: run a small serving fleet with `dhf_obs` stage
+//! tracing enabled and watch the per-stage cost table fill in live,
+//! then print the final fleet telemetry and its Prometheus exposition.
+//!
+//! Tracing is off by default everywhere; one call to
+//! `dhf::obs::set_enabled(true)` opens the gate, after which every
+//! pipeline stage (track validation, STFT, mask build, deep-prior fit,
+//! mask apply, ISTFT), every streaming chunk advance/flush, and every
+//! serving step (queue wait, engine run, batch run) records a span into
+//! a thread-local ring. The serve workers drain their rings into the
+//! shard telemetry, which merges into the fleet-wide table shown here.
+//!
+//! ```sh
+//! cargo run --release --example observe
+//! ```
+
+use dhf::core::DhfConfig;
+use dhf::serve::{ServeConfig, SessionManager};
+use dhf::stream::StreamingConfig;
+use dhf::synth::duet::drifting_duet;
+
+const FS: f64 = 100.0;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let devices = 6;
+    let workers = 2;
+    let n = 9000; // 90 s per device
+    let packet = 250; // 2.5 s packets
+
+    // Open the tracing gate: from here on, spans are recorded. (With the
+    // gate shut — the default — every span site is a single relaxed
+    // atomic load.)
+    dhf::obs::set_enabled(true);
+
+    let scfg = StreamingConfig::new(3000, 600, DhfConfig::fast().with_harmonic_interp())?;
+    let manager = SessionManager::new(ServeConfig::new(workers)?);
+
+    println!("observing {devices} device streams on {workers} worker shards (tracing on)\n");
+    let mut sessions = Vec::new();
+    for d in 0..devices {
+        let duet = drifting_duet(FS, n, d as u64);
+        let id = manager.open(FS, 2, scfg.clone())?;
+        sessions.push((id, duet.mixed, duet.f0_tracks));
+    }
+
+    // Stream round-robin, printing the live per-stage table as work
+    // accumulates — the same view a dashboard would render from the
+    // Prometheus endpoint.
+    let rounds = n / packet;
+    for (round, lo) in (0..n).step_by(packet).enumerate() {
+        let hi = (lo + packet).min(n);
+        for (id, mixed, tracks) in &sessions {
+            let t: Vec<&[f64]> = tracks.iter().map(|t| &t[lo..hi]).collect();
+            manager.push(*id, &mixed[lo..hi], &t)?;
+            let _ = manager.poll(*id)?;
+        }
+        // Pace the pushes a little so the workers keep up and the live
+        // table below actually advances between checkpoints (an
+        // unthrottled push loop finishes before the first drain).
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        if (round + 1) % (rounds / 3).max(1) == 0 {
+            let telemetry = manager.telemetry();
+            let stages = telemetry.stage_breakdown();
+            println!(
+                "after {:>3} s of stream per device ({} samples out, queue hwm {}):",
+                (round + 1) * packet / FS as usize,
+                telemetry.samples_out(),
+                telemetry.queue_depth_hwm(),
+            );
+            if stages.is_empty() {
+                println!("  (no spans drained yet)\n");
+            } else {
+                for line in stages.to_string().lines() {
+                    println!("  {line}");
+                }
+                println!();
+            }
+        }
+    }
+
+    for (id, _, _) in &sessions {
+        manager.close(*id)?;
+    }
+
+    println!("final telemetry:");
+    let telemetry = manager.telemetry();
+    print!("{telemetry}");
+
+    println!("\nPrometheus exposition (what a /metrics endpoint would serve):");
+    print!("{}", telemetry.prometheus());
+
+    dhf::obs::set_enabled(false);
+    Ok(())
+}

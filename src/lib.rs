@@ -22,6 +22,9 @@
 //! * [`serve`] — sharded multi-session serving runtime: batched
 //!   scheduling, bounded queues with backpressure, latency telemetry.
 //! * [`metrics`] — SDR/MSE/correlation with the paper's averaging rules.
+//! * [`obs`] — zero-dependency stage tracing and profiling: runtime-gated
+//!   spans over every pipeline stage, per-stage latency breakdowns, and
+//!   Prometheus/JSON exposition of the serving telemetry.
 //! * [`oximetry`] — SpO2 estimation from dual-wavelength PPG: the Eq. 10
 //!   calibration plus the end-to-end fetal-oximetry trend pipeline,
 //!   offline and streaming.
@@ -50,6 +53,7 @@ pub use dhf_core as core;
 pub use dhf_dsp as dsp;
 pub use dhf_metrics as metrics;
 pub use dhf_nn as nn;
+pub use dhf_obs as obs;
 pub use dhf_oximetry as oximetry;
 pub use dhf_serve as serve;
 pub use dhf_stream as stream;

@@ -226,3 +226,42 @@ fn fetal_spo2_path() {
     assert_eq!(live.len(), trend.samples.len(), "streaming must emit every completable window");
     assert!(live.iter().all(|s| s.spo2.is_finite()));
 }
+
+/// `examples/observe.rs`: a miniature traced fleet — enable `dhf_obs`,
+/// stream a couple of sessions, and check the stage breakdown and the
+/// Prometheus exposition both carry the recorded spans.
+#[test]
+fn observe_path() {
+    let fs = 100.0;
+    let n = 3600;
+    let scfg = StreamingConfig::new(3000, 600, DhfConfig::fast().with_harmonic_interp()).unwrap();
+    let manager = SessionManager::new(ServeConfig::new(1).unwrap());
+
+    dhf::obs::set_enabled(true);
+    let ids: Vec<_> = (0..2)
+        .map(|d| {
+            let duet = dhf::synth::duet::drifting_duet(fs, n, d as u64);
+            let id = manager.open(fs, 2, scfg.clone()).unwrap();
+            (id, duet.mixed, duet.f0_tracks)
+        })
+        .collect();
+    for lo in (0..n).step_by(300) {
+        let hi = (lo + 300).min(n);
+        for (id, mixed, tracks) in &ids {
+            let t: Vec<&[f64]> = tracks.iter().map(|t| &t[lo..hi]).collect();
+            manager.push(*id, &mixed[lo..hi], &t).unwrap();
+        }
+    }
+    for (id, _, _) in &ids {
+        manager.close(*id).unwrap();
+    }
+    dhf::obs::set_enabled(false);
+
+    let telemetry = manager.telemetry();
+    let stages = telemetry.stage_breakdown();
+    assert!(!stages.is_empty(), "traced run must fill the stage breakdown");
+    assert!(stages.stage(dhf::obs::Stage::EngineRun).count() > 0);
+    let prom = telemetry.prometheus();
+    assert!(prom.contains("dhf_samples_out_total"), "exposition:\n{prom}");
+    assert!(prom.contains("dhf_stage_seconds"), "exposition:\n{prom}");
+}

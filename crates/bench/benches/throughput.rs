@@ -17,7 +17,7 @@ use dhf_bench::{
 };
 use dhf_core::{DhfConfig, RoundContext};
 use dhf_dsp::simd;
-use dhf_stream::{separate_streamed, StreamingConfig, StreamingSeparator};
+use dhf_stream::{separate_streamed, HpssFrontConfig, StreamingConfig, StreamingSeparator};
 use std::hint::black_box;
 
 /// Two drifting quasi-periodic sources, rendered long enough for many
@@ -146,6 +146,21 @@ fn throughput_summary() {
     }
     let stream_plans = sep.fft_plans_built();
 
+    // HPSS front filter A/B: the same persistent-session methodology with
+    // the transient-rejection filter enabled, so the enabled path's
+    // overhead is tracked across PRs (the filter is off by default and
+    // costs nothing when disabled — `sep` above measures that path).
+    let hpss_cfg = stream_cfg().with_hpss_front(HpssFrontConfig::default());
+    let mut sep_hpss = StreamingSeparator::new(fs, 2, hpss_cfg).expect("hpss session");
+    let mut t_stream_hpss = f64::INFINITY;
+    for _ in 0..reps {
+        sep_hpss.reset();
+        let sw = Stopwatch::start();
+        sep_hpss.push(&mix, &track_refs).expect("hpss streamed push");
+        let _ = sep_hpss.flush().expect("hpss streamed flush");
+        t_stream_hpss = t_stream_hpss.min(sw.secs());
+    }
+
     // Offline path, two methodologies so the perf trajectory stays
     // comparable across PRs:
     //  * cold — one single pass through the free `dhf_core::separate`
@@ -216,6 +231,13 @@ fn throughput_summary() {
         "streaming : {:>10.0} samples/sec  ({:.4} s, {dropped} dropped, {stream_plans} plans)",
         stream_sps, t_stream
     );
+    let stream_hpss_sps = n as f64 / t_stream_hpss;
+    let hpss_overhead = t_stream_hpss / t_stream;
+    println!(
+        "hpss front: {stream_hpss_sps:>10.0} samples/sec  ({:.4} s, {hpss_overhead:.3}x the \
+         filter-off wall)",
+        t_stream_hpss
+    );
     println!("capacity  : {sessions:>10.1} concurrent real-time sessions/core");
     println!(
         "simd      : {simd_level} kernels {simd_speedup:.2}x over scalar \
@@ -241,6 +263,13 @@ fn throughput_summary() {
         .int("offline_plans_built", offline_plans as u64)
         .int("streaming_plans_built", stream_plans as u64)
         .int("dropped_samples", dropped as u64)
+        .obj(
+            "hpss_front_filter",
+            JsonObject::new()
+                .num("streaming_samples_per_sec_off", stream_sps)
+                .num("streaming_samples_per_sec_on", stream_hpss_sps)
+                .num("overhead_x", hpss_overhead),
+        )
         .obj(
             "scalar_vs_simd",
             JsonObject::new()

@@ -5,8 +5,11 @@
 //! Knobs (environment variables, all optional):
 //!
 //! * `DHF_SCENARIO` — `separation` (default: raw two-source separation
-//!   sessions) or `oximetry` (dual-wavelength fetal-SpO2 sessions over
-//!   synthetic desaturation recordings).
+//!   sessions), `oximetry` (dual-wavelength fetal-SpO2 sessions over
+//!   synthetic desaturation recordings), or `artifact` (the oximetry
+//!   fleet under gait-artifact contamination with the HPSS
+//!   transient-rejection front filter enabled — its cost shows up as
+//!   the `hpss_filter` stage in the fleet stage table).
 //! * `DHF_SESSIONS` — concurrent sessions (default 64).
 //! * `DHF_WORKERS` — worker shards (default: available parallelism).
 //! * `DHF_CLIENTS` — client threads generating load (default 4).
@@ -32,7 +35,8 @@ use dhf_bench::{
 use dhf_core::DhfConfig;
 use dhf_oximetry::{Calibration, OximetryConfig};
 use dhf_serve::{ServeConfig, SessionManager};
-use dhf_stream::StreamingConfig;
+use dhf_stream::{HpssFrontConfig, StreamingConfig};
+use dhf_synth::artifact::{self, ArtifactConfig};
 use dhf_synth::dualwave::{generate, DualWaveConfig, Spo2Scenario};
 use dhf_synth::invivo::{CALIBRATION_K, CALIBRATION_W0, CALIBRATION_W1};
 use std::sync::Arc;
@@ -57,11 +61,19 @@ fn make_mix(n: usize, variant: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
 }
 
 /// Per-session dual-wavelength desaturation recording (distinct seed per
-/// session) for the oximetry scenario.
-fn make_oximetry_stream(seconds: f64, variant: usize) -> (Vec<f64>, Vec<f64>, Vec<Vec<f64>>) {
+/// session) for the oximetry scenario; the artifact scenario additionally
+/// contaminates both channels with a seeded gait-artifact impact train.
+fn make_oximetry_stream(
+    seconds: f64,
+    variant: usize,
+    artifact: bool,
+) -> (Vec<f64>, Vec<f64>, Vec<Vec<f64>>) {
     let cfg = DualWaveConfig::new(Spo2Scenario::desaturation(0.55, 0.35), seconds)
         .with_seed(0xF_0E7A + variant as u64);
-    let rec = generate(&cfg);
+    let mut rec = generate(&cfg);
+    if artifact {
+        artifact::apply(&mut rec, &ArtifactConfig::gait(seconds, 0xA57 + variant as u64));
+    }
     let [l1, l2] = rec.mixed;
     (l1, l2, vec![rec.f0.maternal, rec.f0.fetal])
 }
@@ -113,10 +125,13 @@ fn run_client(manager: &SessionManager, sessions: &[DeviceStream], packet: usize
 
 fn main() {
     let scenario = std::env::var("DHF_SCENARIO").unwrap_or_else(|_| "separation".into());
-    let oximetry = match scenario.as_str() {
-        "separation" => false,
-        "oximetry" => true,
-        other => panic!("unknown DHF_SCENARIO `{other}` (use `separation` or `oximetry`)"),
+    let (oximetry, artifact) = match scenario.as_str() {
+        "separation" => (false, false),
+        "oximetry" => (true, false),
+        "artifact" => (true, true),
+        other => {
+            panic!("unknown DHF_SCENARIO `{other}` (use `separation`, `oximetry`, or `artifact`)")
+        }
     };
     let sessions = env_usize("DHF_SESSIONS", if fast_mode() { 16 } else { 64 });
     let default_workers = std::thread::available_parallelism().map_or(2, |p| p.get());
@@ -130,7 +145,10 @@ fn main() {
     // queueing, stitching, FFT) from deep-prior training time, mirroring
     // the `throughput` bench.
     let dhf = DhfConfig::fast().with_harmonic_interp();
-    let scfg = StreamingConfig::new(3000, 600, dhf).expect("valid streaming config");
+    let mut scfg = StreamingConfig::new(3000, 600, dhf).expect("valid streaming config");
+    if artifact {
+        scfg = scfg.with_hpss_front(HpssFrontConfig::default());
+    }
     let serve_cfg = ServeConfig::new(workers).expect("valid serve config");
     // Oximetry sessions: 20 s SpO2 windows every 10 s under the
     // simulator's forward calibration.
@@ -152,7 +170,8 @@ fn main() {
     let mut fleet: Vec<Vec<DeviceStream>> = (0..clients).map(|_| Vec::new()).collect();
     for s in 0..sessions {
         let dev = if oximetry {
-            let (lambda1, lambda2, tracks) = make_oximetry_stream(stream_seconds as f64, s);
+            let (lambda1, lambda2, tracks) =
+                make_oximetry_stream(stream_seconds as f64, s, artifact);
             let id = manager
                 .open_oximetry(FS, 2, scfg.clone(), ocfg.clone())
                 .expect("open oximetry session");

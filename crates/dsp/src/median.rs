@@ -1,8 +1,11 @@
-//! Sliding median filters over 1-D signals and across spectrogram frames.
+//! Sliding median filters over 1-D signals, 2-D images, and across
+//! spectrogram frames.
 //!
 //! REPET builds its repeating-background model by taking medians across
-//! frames spaced one repeating period apart; the helpers here serve that and
-//! general robust smoothing.
+//! frames spaced one repeating period apart; harmonic–percussive source
+//! separation (HPSS) median-filters the magnitude spectrogram along time
+//! and along frequency. The helpers here serve both and general robust
+//! smoothing.
 
 use crate::stats::median;
 
@@ -22,6 +25,85 @@ pub fn median_filter(x: &[f64], len: usize) -> Vec<f64> {
             median(&x[lo..hi]).unwrap_or(x[i])
         })
         .collect()
+}
+
+/// Elementwise sliding median over an edge-clamped `k_rows × k_cols`
+/// window of a row-major `rows × cols` image, written into `out`.
+///
+/// Window dimensions are forced odd (like [`median_filter`]); near the
+/// borders the window shrinks to its in-bounds intersection rather than
+/// padding, so edge medians are taken over fewer elements — matching the
+/// 1-D filter's edge-truncation semantics exactly when one dimension
+/// is 1. `out` and `scratch` are reused between calls, so steady state
+/// allocates nothing once their capacity has grown to the image size.
+///
+/// The median itself selects order statistics (no averaging except the
+/// even-count midpoint), so results equal a sort-based reference exactly.
+///
+/// # Panics
+///
+/// Panics if `img.len() != rows * cols`.
+pub fn median_filter_2d_into(
+    img: &[f64],
+    rows: usize,
+    cols: usize,
+    k_rows: usize,
+    k_cols: usize,
+    out: &mut Vec<f64>,
+    scratch: &mut Vec<f64>,
+) {
+    assert_eq!(img.len(), rows * cols, "image shape mismatch: {} != {rows}x{cols}", img.len());
+    out.clear();
+    out.reserve(img.len());
+    let kr = k_rows.max(1) | 1;
+    let kc = k_cols.max(1) | 1;
+    if kr == 1 && kc == 1 {
+        out.extend_from_slice(img);
+        return;
+    }
+    let (hr, hc) = (kr / 2, kc / 2);
+    for r in 0..rows {
+        let r_lo = r.saturating_sub(hr);
+        let r_hi = (r + hr + 1).min(rows);
+        for c in 0..cols {
+            let c_lo = c.saturating_sub(hc);
+            let c_hi = (c + hc + 1).min(cols);
+            scratch.clear();
+            for rr in r_lo..r_hi {
+                scratch.extend_from_slice(&img[rr * cols + c_lo..rr * cols + c_hi]);
+            }
+            out.push(median_select(scratch));
+        }
+    }
+}
+
+/// Allocating convenience wrapper around [`median_filter_2d_into`].
+pub fn median_filter_2d(
+    img: &[f64],
+    rows: usize,
+    cols: usize,
+    k_rows: usize,
+    k_cols: usize,
+) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut scratch = Vec::new();
+    median_filter_2d_into(img, rows, cols, k_rows, k_cols, &mut out, &mut scratch);
+    out
+}
+
+/// Median by selection instead of a full sort: the same order statistics
+/// [`median`] reads off a sorted copy, at O(n) average. Reorders `v`.
+fn median_select(v: &mut [f64]) -> f64 {
+    debug_assert!(!v.is_empty(), "median of an empty window");
+    let n = v.len();
+    let cmp = |a: &f64, b: &f64| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal);
+    if n % 2 == 1 {
+        *v.select_nth_unstable_by(n / 2, cmp).1
+    } else {
+        let (left, hi, _) = v.select_nth_unstable_by(n / 2, cmp);
+        let lo = left.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        0.5 * (lo + *hi)
+    }
 }
 
 /// Median across a set of equal-length rows, elementwise.
@@ -117,6 +199,71 @@ mod tests {
         // Width forced to 41; every edge-truncated window spans the whole
         // signal, so each output is the global median.
         assert_eq!(median_filter(&x, 40), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn median_2d_single_row_matches_1d_filter() {
+        let x: Vec<f64> = (0..31).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+        for k in [1usize, 3, 4, 7, 40] {
+            assert_eq!(median_filter_2d(&x, 1, x.len(), 1, k), median_filter(&x, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn median_2d_single_column_matches_1d_filter() {
+        let x: Vec<f64> = (0..23).map(|i| ((i * 19) % 11) as f64).collect();
+        assert_eq!(median_filter_2d(&x, x.len(), 1, 5, 1), median_filter(&x, 5));
+    }
+
+    #[test]
+    fn median_2d_removes_salt_and_pepper() {
+        let (rows, cols) = (8, 9);
+        let mut img = vec![2.0; rows * cols];
+        img[2 * cols + 3] = 100.0;
+        img[5 * cols + 7] = -40.0;
+        let y = median_filter_2d(&img, rows, cols, 3, 3);
+        assert!(y.iter().all(|&v| (v - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn median_2d_identity_kernel_copies() {
+        let img: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        assert_eq!(median_filter_2d(&img, 3, 4, 1, 1), img);
+    }
+
+    #[test]
+    fn median_2d_matches_naive_gather_sort() {
+        // Exhaustive check on a small image against the obvious
+        // gather-and-sort reference, covering corner/edge clamping.
+        let (rows, cols) = (5, 6);
+        let img: Vec<f64> = (0..rows * cols).map(|i| (((i * 29) % 13) as f64) - 6.0).collect();
+        for (kr, kc) in [(3, 3), (1, 5), (5, 1), (3, 7), (9, 9)] {
+            let got = median_filter_2d(&img, rows, cols, kr, kc);
+            let (hr, hc) = (kr / 2, kc / 2);
+            for r in 0..rows {
+                for c in 0..cols {
+                    let mut win = Vec::new();
+                    for rr in r.saturating_sub(hr)..(r + hr + 1).min(rows) {
+                        for cc in c.saturating_sub(hc)..(c + hc + 1).min(cols) {
+                            win.push(img[rr * cols + cc]);
+                        }
+                    }
+                    let want = median(&win).unwrap();
+                    assert_eq!(got[r * cols + c], want, "({r},{c}) kernel {kr}x{kc}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn median_2d_reuses_buffers_without_allocating() {
+        let img = vec![1.0; 4 * 4];
+        let (mut out, mut scratch) = (Vec::new(), Vec::new());
+        median_filter_2d_into(&img, 4, 4, 3, 3, &mut out, &mut scratch);
+        let (cap_o, cap_s) = (out.capacity(), scratch.capacity());
+        median_filter_2d_into(&img, 4, 4, 3, 3, &mut out, &mut scratch);
+        assert_eq!(out.capacity(), cap_o);
+        assert_eq!(scratch.capacity(), cap_s);
     }
 
     #[test]

@@ -34,6 +34,9 @@ pub enum Stage {
     MaskApply,
     /// `dhf_dsp` — inverse STFT and windowed overlap-add.
     Istft,
+    /// `dhf_stream` — the optional HPSS transient-rejection front
+    /// filter applied to a chunk before separation.
+    HpssFilter,
     /// `dhf_stream` — one steady-state chunk advance (separate +
     /// stitch).
     ChunkAdvance,
@@ -51,7 +54,7 @@ pub enum Stage {
 
 impl Stage {
     /// Number of stages in the taxonomy.
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 12;
 
     /// Every stage, in pipeline order. Indexing invariant:
     /// `Stage::ALL[s as usize] == s`.
@@ -62,6 +65,7 @@ impl Stage {
         Stage::NnFit,
         Stage::MaskApply,
         Stage::Istft,
+        Stage::HpssFilter,
         Stage::ChunkAdvance,
         Stage::ChunkFlush,
         Stage::QueueWait,
@@ -79,6 +83,7 @@ impl Stage {
             Stage::NnFit => "nn_fit",
             Stage::MaskApply => "mask_apply",
             Stage::Istft => "istft",
+            Stage::HpssFilter => "hpss_filter",
             Stage::ChunkAdvance => "chunk_advance",
             Stage::ChunkFlush => "chunk_flush",
             Stage::QueueWait => "queue_wait",

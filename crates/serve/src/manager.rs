@@ -884,7 +884,11 @@ mod tests {
         let n = 6200;
         let (mix, tracks) = make_mix(fs, n, 3);
         let manager = SessionManager::new(ServeConfig::new(1).unwrap());
-        let id = manager.open(fs, 2, stream_cfg(3000, 600)).unwrap();
+        // HPSS front filter on, so the artifact-scenario session shape
+        // (the one `loadgen DHF_SCENARIO=artifact` opens) is the one
+        // whose stage profile the exporters must carry.
+        let scfg = stream_cfg(3000, 600).with_hpss_front(dhf_stream::HpssFrontConfig::default());
+        let id = manager.open(fs, 2, scfg).unwrap();
         dhf_obs::set_enabled(true);
         for lo in (0..n).step_by(700) {
             let hi = (lo + 700).min(n);
@@ -913,6 +917,7 @@ mod tests {
             dhf_obs::Stage::EngineRun,
             dhf_obs::Stage::BatchRun,
             dhf_obs::Stage::ChunkAdvance,
+            dhf_obs::Stage::HpssFilter,
             dhf_obs::Stage::StftAnalysis,
             dhf_obs::Stage::MaskBuild,
             dhf_obs::Stage::Istft,
@@ -935,6 +940,7 @@ mod tests {
         assert!(table.contains("spo2"), "per-shard spo2 column:\n{table}");
         assert!(table.contains("stages (fleet"), "stage summary:\n{table}");
         assert!(table.contains("engine_run"), "stage rows:\n{table}");
+        assert!(table.contains("hpss_filter"), "front-filter stage row:\n{table}");
         let prom = telemetry.prometheus();
         assert!(prom.contains("# TYPE dhf_stage_seconds summary"));
         assert!(prom.contains("dhf_stage_seconds{stage=\"chunk_advance\",quantile=\"0.5\"}"));

@@ -15,7 +15,8 @@
 
 use dhf_core::DhfConfig;
 use dhf_serve::{ServeConfig, SessionManager};
-use dhf_stream::{separate_streamed, StreamingConfig};
+use dhf_stream::{separate_streamed, HpssFrontConfig, StreamingConfig};
+use dhf_synth::artifact::{self, ArtifactConfig};
 use proptest::prelude::*;
 
 /// Two drifting quasi-periodic sources (the shared `dhf_synth` fixture),
@@ -168,6 +169,75 @@ proptest! {
             "forced-scalar served output differs from the native serial run \
              (workers {}, chunk {}, packet {})",
             workers, chunk_len, packet
+        );
+    }
+
+    /// The artifact-bearing corollary: a session contaminated by each
+    /// `dhf_synth::artifact` family and opened with the HPSS front filter
+    /// (the `DHF_SCENARIO=artifact` session shape) must still be
+    /// bit-identical to its serial run — the front filter is part of the
+    /// engine, so scheduling and batching must not perturb it either.
+    #[test]
+    fn artifact_sessions_with_hpss_front_match_serial_runs(
+        workers in 1usize..4,
+        chunk_len in 2600usize..3400,
+        packet in 250usize..900,
+        family in 0usize..3,
+    ) {
+        let fs = 100.0;
+        let n = 6500;
+        let scfg = StreamingConfig::new(
+            chunk_len,
+            chunk_len / 8,
+            DhfConfig::fast().with_harmonic_interp(),
+        )
+        .unwrap()
+        .with_hpss_front(HpssFrontConfig::default());
+        let (mut mix, tracks) = make_mix(fs, n, 7);
+        let art = match family {
+            0 => ArtifactConfig::spikes(9),
+            1 => ArtifactConfig::wander(9),
+            _ => ArtifactConfig::gait(n as f64 / fs, 9),
+        };
+        // The duet fixture is zero-DC, so scale the unit-DC artifact
+        // waveform to the mix's own amplitude instead of a DC level.
+        for (x, a) in mix.iter_mut().zip(artifact::waveform(&art, n, fs)) {
+            *x += 2.0 * a;
+        }
+
+        let (want, want_dropped) = separate_streamed(&mix, fs, &tracks, &scfg).unwrap();
+
+        let manager = SessionManager::new(ServeConfig::new(workers).unwrap());
+        let id = manager.open(fs, 2, scfg).unwrap();
+        let mut got = vec![Vec::new(); 2];
+        let deliver = |blocks: Vec<dhf_stream::StreamBlock>, got: &mut Vec<Vec<f64>>| {
+            for b in blocks {
+                assert_eq!(got[0].len(), b.start, "blocks out of order");
+                for (src, est) in b.sources.iter().enumerate() {
+                    got[src].extend_from_slice(est);
+                }
+            }
+        };
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + packet).min(n);
+            let t: Vec<&[f64]> = tracks.iter().map(|t| &t[lo..hi]).collect();
+            manager.push(id, &mix[lo..hi], &t).unwrap();
+            let out = manager.poll(id).unwrap();
+            prop_assert!(out.error.is_none());
+            deliver(out.blocks, &mut got);
+            lo = hi;
+        }
+        let fin = manager.close(id).unwrap();
+        prop_assert!(fin.error.is_none());
+        prop_assert_eq!(fin.dropped_samples, want_dropped);
+        deliver(fin.blocks, &mut got);
+
+        prop_assert_eq!(
+            &got, &want,
+            "artifact session with HPSS front differs from its serial run \
+             (workers {}, chunk {}, packet {}, family {})",
+            workers, chunk_len, packet, family
         );
     }
 }

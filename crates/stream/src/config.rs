@@ -1,5 +1,6 @@
 //! Streaming engine configuration.
 
+use crate::hpss::HpssFrontConfig;
 use crate::StreamError;
 use dhf_core::DhfConfig;
 
@@ -11,11 +12,17 @@ use dhf_core::DhfConfig;
 /// more context (better separation, especially for low fundamentals that
 /// need many cycles per analysis window) at the cost of latency; larger
 /// overlaps smooth seams harder at the cost of redundant computation.
+///
+/// An optional HPSS transient-rejection front filter
+/// ([`with_hpss_front`](Self::with_hpss_front)) scrubs motion artifacts
+/// from each chunk before separation; it is off by default so
+/// clean-signal sessions pay nothing.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamingConfig {
     chunk_len: usize,
     overlap: usize,
     dhf: DhfConfig,
+    hpss_front: Option<HpssFrontConfig>,
 }
 
 impl StreamingConfig {
@@ -40,7 +47,21 @@ impl StreamingConfig {
                 message: format!("must be at most chunk_len/2 = {}", chunk_len / 2),
             });
         }
-        Ok(StreamingConfig { chunk_len, overlap, dhf })
+        Ok(StreamingConfig { chunk_len, overlap, dhf, hpss_front: None })
+    }
+
+    /// Enables the HPSS transient-rejection front filter: each analysis
+    /// chunk is replaced by its harmonic-only HPSS resynthesis before
+    /// separation (see [`FrontFilter`](crate::FrontFilter)). Parameters
+    /// are validated against the sample rate when the session opens.
+    pub fn with_hpss_front(mut self, front: HpssFrontConfig) -> Self {
+        self.hpss_front = Some(front);
+        self
+    }
+
+    /// The HPSS front-filter parameters, if the filter is enabled.
+    pub fn hpss_front(&self) -> Option<&HpssFrontConfig> {
+        self.hpss_front.as_ref()
     }
 
     /// Samples per analysis chunk.
@@ -85,5 +106,14 @@ mod tests {
         assert_eq!(ok.hop(), 50);
         assert_eq!(ok.max_latency_samples(), 100);
         assert!(StreamingConfig::new(100, 0, dhf).is_ok());
+    }
+
+    #[test]
+    fn hpss_front_defaults_off_and_round_trips() {
+        let cfg = StreamingConfig::new(100, 0, DhfConfig::fast()).unwrap();
+        assert!(cfg.hpss_front().is_none());
+        let front = HpssFrontConfig { kernel_time: 9, ..HpssFrontConfig::default() };
+        let cfg = cfg.with_hpss_front(front.clone());
+        assert_eq!(cfg.hpss_front(), Some(&front));
     }
 }

@@ -47,10 +47,12 @@
 #![warn(missing_docs)]
 
 mod config;
+mod hpss;
 mod separator;
 mod stitch;
 
 pub use config::StreamingConfig;
+pub use hpss::{FrontFilter, HpssFrontConfig};
 pub use separator::{separate_streamed, FlushOutcome, StreamBlock, StreamingSeparator};
 pub use stitch::crossfade_weights;
 

@@ -1,5 +1,6 @@
 //! The online chunked separator.
 
+use crate::hpss::FrontFilter;
 use crate::stitch::{blend_seam, crossfade_weights};
 use crate::{StreamError, StreamingConfig};
 use dhf_core::{DhfError, RoundContext};
@@ -108,6 +109,12 @@ pub struct StreamingSeparator {
     /// Blocks separated by a partially-failed [`push`](Self::push),
     /// delivered by the next successful push or flush.
     pending: Vec<StreamBlock>,
+    /// Optional HPSS transient-rejection filter applied to each chunk
+    /// before separation. Stateless across chunks (each call analyzes
+    /// only its own samples), so [`reset`](Self::reset) has nothing to
+    /// clear here — only its buffer capacities persist, which is the
+    /// point.
+    front: Option<FrontFilter>,
 }
 
 // Sessions are owned by serving-runtime worker threads and handed over at
@@ -146,6 +153,10 @@ impl StreamingSeparator {
         // spectrogram-sized diagnostic clones the offline API collects.
         ctx.set_collect_reports(false);
         let xfade = crossfade_weights(cfg.overlap());
+        let front = match cfg.hpss_front() {
+            Some(fc) => Some(FrontFilter::new(fc.clone(), fs)?),
+            None => None,
+        };
         Ok(StreamingSeparator {
             fs,
             n_sources,
@@ -160,6 +171,7 @@ impl StreamingSeparator {
             tail: Vec::new(),
             xfade,
             pending: Vec::new(),
+            front,
         })
     }
 
@@ -275,7 +287,10 @@ impl StreamingSeparator {
         let hop = self.cfg.hop();
         let off = s - self.buf_start;
 
-        let mixed = &self.buf[off..off + chunk_len];
+        let mixed = match self.front.as_mut() {
+            Some(f) => f.filter(&self.buf[off..off + chunk_len]),
+            None => &self.buf[off..off + chunk_len],
+        };
         let chunk_tracks: Vec<&[f64]> =
             self.tracks.iter().map(|t| &t[off..off + chunk_len]).collect();
         let salt = self.chunk_index * CHUNK_SALT_STRIDE;
@@ -351,7 +366,10 @@ impl StreamingSeparator {
             let len = end - full_start;
             let off = full_start - self.buf_start;
             let emit_off = s - full_start;
-            let mixed = &self.buf[off..off + len];
+            let mixed = match self.front.as_mut() {
+                Some(f) => f.filter(&self.buf[off..off + len]),
+                None => &self.buf[off..off + len],
+            };
             let chunk_tracks: Vec<&[f64]> =
                 self.tracks.iter().map(|t| &t[off..off + len]).collect();
             let salt = self.chunk_index * CHUNK_SALT_STRIDE;

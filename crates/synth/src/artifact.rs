@@ -1,0 +1,609 @@
+//! Motion-artifact contamination for synthesized TFO recordings.
+//!
+//! Wearable optodes see transient interference the harmonic-track model
+//! cannot describe: probe displacement spikes, baseline-wander bursts
+//! from posture and perfusion shifts, and gait-locked foot-strike
+//! impacts whose cadence follows the wearer's activity. This module
+//! synthesizes those three families as additive contamination on top of
+//! the dual-wavelength scenarios of [`dualwave`](crate::dualwave):
+//!
+//! * [`SpikeConfig`] — impulsive spikes, Bernoulli-scheduled per sample
+//!   with heavy-tailed (Pareto) amplitudes and an exponential decay.
+//! * [`WanderConfig`] — baseline-wander bursts: Hann-enveloped
+//!   low-frequency oscillations at random onsets.
+//! * [`GaitConfig`] — gait-periodic interference driven by an
+//!   [`ActivitySchedule`] of walk/run/rest segments with per-segment
+//!   cadence; every foot strike is a damped broadband ring-down, so the
+//!   interference is a *percussive* impulse train rather than a clean
+//!   harmonic line — exactly what a harmonic-track separator leaks.
+//!
+//! All generators draw from one seeded [`StdRng`], so a configuration is
+//! bit-reproducible, and [`apply`] adds the common-mode artifact to both
+//! wavelength channels (scaled by their DC levels) while leaving the
+//! ground-truth SaO2 trajectory, fetal components, and f0 tracks
+//! untouched — scoring a pipeline against truth stays valid under
+//! contamination.
+//!
+//! # Example
+//!
+//! ```
+//! use dhf_synth::artifact::{apply, ArtifactConfig};
+//! use dhf_synth::dualwave::{generate, DualWaveConfig, Spo2Scenario};
+//!
+//! let mut rec = generate(&DualWaveConfig::new(Spo2Scenario::Constant { spo2: 0.5 }, 20.0));
+//! let clean = rec.mixed[0].clone();
+//! let truth = rec.sao2.clone();
+//! apply(&mut rec, &ArtifactConfig::spikes(7));
+//! assert_ne!(rec.mixed[0], clean, "contamination must change the mixture");
+//! assert_eq!(rec.sao2, truth, "ground truth stays intact");
+//! ```
+
+use crate::invivo::{TfoRecording, DC_LEVELS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::TAU;
+
+/// Impulsive spike artifacts (probe displacement, cable snap).
+///
+/// Spikes start by a per-sample Bernoulli trial with probability
+/// `rate_hz / fs`; each spike has a heavy-tailed amplitude
+/// `amplitude · u^(-1/tail)` (Pareto, clamped to 20× the scale so a
+/// single draw cannot dwarf the recording), a random sign, and an
+/// exponential decay with time constant `decay_s`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpikeConfig {
+    /// Expected spikes per second.
+    pub rate_hz: f64,
+    /// Amplitude scale relative to the channel DC level.
+    pub amplitude: f64,
+    /// Pareto tail exponent; smaller values give heavier tails.
+    pub tail: f64,
+    /// Exponential decay time constant in seconds.
+    pub decay_s: f64,
+}
+
+impl Default for SpikeConfig {
+    fn default() -> Self {
+        SpikeConfig { rate_hz: 0.8, amplitude: 0.06, tail: 1.5, decay_s: 0.04 }
+    }
+}
+
+/// Baseline-wander bursts (posture shifts, venous pooling).
+///
+/// Burst onsets are Bernoulli-scheduled at `burst_rate_hz`; each burst
+/// is a Hann-enveloped oscillation of random duration, frequency (below
+/// the physiological bands), phase, and amplitude.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WanderConfig {
+    /// Expected burst onsets per second.
+    pub burst_rate_hz: f64,
+    /// Peak envelope amplitude relative to the channel DC level.
+    pub amplitude: f64,
+    /// Shortest burst in seconds.
+    pub min_duration_s: f64,
+    /// Longest burst in seconds.
+    pub max_duration_s: f64,
+    /// Oscillation frequency band in Hz (kept below the respiration
+    /// band so the wander is out-of-model interference).
+    pub freq_band: (f64, f64),
+}
+
+impl Default for WanderConfig {
+    fn default() -> Self {
+        WanderConfig {
+            burst_rate_hz: 0.06,
+            amplitude: 0.12,
+            min_duration_s: 2.0,
+            max_duration_s: 6.0,
+            freq_band: (0.08, 0.3),
+        }
+    }
+}
+
+/// One locomotor activity of an [`ActivitySchedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activity {
+    /// Standing/sitting still: no foot strikes.
+    Rest,
+    /// Walking: moderate impacts at walking cadence.
+    Walk,
+    /// Running: harder impacts at running cadence.
+    Run,
+}
+
+impl Activity {
+    /// Short lowercase name (for logs and telemetry).
+    pub fn name(self) -> &'static str {
+        match self {
+            Activity::Rest => "rest",
+            Activity::Walk => "walk",
+            Activity::Run => "run",
+        }
+    }
+
+    /// Impact amplitude multiplier relative to the walk baseline.
+    pub fn impact_scale(self) -> f64 {
+        match self {
+            Activity::Rest => 0.0,
+            Activity::Walk => 1.0,
+            Activity::Run => 2.2,
+        }
+    }
+
+    /// Typical step-cadence band in Hz (`None` for rest).
+    pub fn cadence_band(self) -> Option<(f64, f64)> {
+        match self {
+            Activity::Rest => None,
+            Activity::Walk => Some((1.5, 2.1)),
+            Activity::Run => Some((2.4, 3.1)),
+        }
+    }
+}
+
+/// One contiguous activity segment with its own cadence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivitySegment {
+    /// The activity performed during the segment.
+    pub activity: Activity,
+    /// Segment length in seconds.
+    pub duration_s: f64,
+    /// Step cadence in Hz (ignored for [`Activity::Rest`]).
+    pub cadence_hz: f64,
+}
+
+/// A timeline of walk/run/rest segments driving the gait generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivitySchedule {
+    /// The segments, in temporal order.
+    pub segments: Vec<ActivitySegment>,
+}
+
+impl ActivitySchedule {
+    /// Builds a schedule from explicit segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty, any duration is non-positive, or a
+    /// non-rest segment has a non-positive cadence.
+    pub fn new(segments: Vec<ActivitySegment>) -> Self {
+        assert!(!segments.is_empty(), "schedule needs at least one segment");
+        for s in &segments {
+            assert!(s.duration_s > 0.0, "segment durations must be positive");
+            assert!(
+                s.activity == Activity::Rest || s.cadence_hz > 0.0,
+                "{} segments need a positive cadence",
+                s.activity.name()
+            );
+        }
+        ActivitySchedule { segments }
+    }
+
+    /// Random walk/run/rest timeline covering at least `duration_s`
+    /// seconds: segment lengths are uniform in 10–25 s, activities cycle
+    /// through a shuffled walk/rest/run rotation (so every family
+    /// appears), and each non-rest segment draws its cadence from the
+    /// activity's band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_s` is non-positive.
+    pub fn walk_run_rest<R: Rng>(duration_s: f64, rng: &mut R) -> Self {
+        assert!(duration_s > 0.0, "duration must be positive");
+        let rotation = [Activity::Walk, Activity::Rest, Activity::Run, Activity::Rest];
+        let offset = rng.gen_range(0usize..rotation.len());
+        let mut segments = Vec::new();
+        let mut covered = 0.0;
+        let mut k = 0usize;
+        while covered < duration_s {
+            let activity = rotation[(offset + k) % rotation.len()];
+            let d = rng.gen_range(10.0..25.0);
+            let cadence = match activity.cadence_band() {
+                Some((lo, hi)) => rng.gen_range(lo..hi),
+                None => 0.0,
+            };
+            segments.push(ActivitySegment { activity, duration_s: d, cadence_hz: cadence });
+            covered += d;
+            k += 1;
+        }
+        ActivitySchedule { segments }
+    }
+
+    /// Total covered time in seconds.
+    pub fn total_duration_s(&self) -> f64 {
+        self.segments.iter().map(|s| s.duration_s).sum()
+    }
+
+    /// The segment active at time `t` seconds (the last segment past the
+    /// end of the schedule).
+    pub fn segment_at(&self, t: f64) -> &ActivitySegment {
+        let mut start = 0.0;
+        for s in &self.segments {
+            if t < start + s.duration_s {
+                return s;
+            }
+            start += s.duration_s;
+        }
+        self.segments.last().expect("schedule is non-empty")
+    }
+}
+
+/// Gait-periodic interference: a cadence-locked foot-strike impact train.
+///
+/// Each step is a damped broadband ring-down (`amplitude ·
+/// exp(-t/decay_s) · cos(2π·resonance_hz·t)`), its onset spaced by the
+/// active segment's cadence with timing jitter and its strength scaled by
+/// the activity's [`impact_scale`](Activity::impact_scale) with amplitude
+/// jitter. Rest segments are silent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaitConfig {
+    /// The activity timeline.
+    pub schedule: ActivitySchedule,
+    /// Impact amplitude at walk scale, relative to the channel DC level.
+    pub amplitude: f64,
+    /// Ring-down resonance in Hz (sensor/tissue coupling).
+    pub resonance_hz: f64,
+    /// Ring-down decay time constant in seconds.
+    pub decay_s: f64,
+    /// Relative per-step timing and amplitude jitter (fraction).
+    pub jitter: f64,
+}
+
+impl GaitConfig {
+    /// Default gait parameters over the given schedule.
+    pub fn new(schedule: ActivitySchedule) -> Self {
+        GaitConfig { schedule, amplitude: 0.05, resonance_hz: 9.0, decay_s: 0.06, jitter: 0.08 }
+    }
+}
+
+/// A composable, seeded motion-artifact configuration.
+///
+/// Each family is optional; enabled families are generated sequentially
+/// from one [`StdRng`] seeded with `seed` and summed, so any combination
+/// is bit-reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtifactConfig {
+    /// Impulsive spike artifacts.
+    pub spikes: Option<SpikeConfig>,
+    /// Baseline-wander bursts.
+    pub wander: Option<WanderConfig>,
+    /// Gait-periodic interference.
+    pub gait: Option<GaitConfig>,
+    /// Master random seed.
+    pub seed: u64,
+}
+
+impl ArtifactConfig {
+    /// An empty configuration (no contamination) with the given seed.
+    pub fn none(seed: u64) -> Self {
+        ArtifactConfig { spikes: None, wander: None, gait: None, seed }
+    }
+
+    /// Default-parameter spike contamination.
+    pub fn spikes(seed: u64) -> Self {
+        ArtifactConfig::none(seed).with_spikes(SpikeConfig::default())
+    }
+
+    /// Default-parameter baseline-wander contamination.
+    pub fn wander(seed: u64) -> Self {
+        ArtifactConfig::none(seed).with_wander(WanderConfig::default())
+    }
+
+    /// Default-parameter gait contamination over a random walk/run/rest
+    /// schedule covering `duration_s` seconds.
+    pub fn gait(duration_s: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6A17);
+        let schedule = ActivitySchedule::walk_run_rest(duration_s, &mut rng);
+        ArtifactConfig::none(seed).with_gait(GaitConfig::new(schedule))
+    }
+
+    /// Enables (or replaces) the spike family.
+    pub fn with_spikes(mut self, cfg: SpikeConfig) -> Self {
+        self.spikes = Some(cfg);
+        self
+    }
+
+    /// Enables (or replaces) the wander family.
+    pub fn with_wander(mut self, cfg: WanderConfig) -> Self {
+        self.wander = Some(cfg);
+        self
+    }
+
+    /// Enables (or replaces) the gait family.
+    pub fn with_gait(mut self, cfg: GaitConfig) -> Self {
+        self.gait = Some(cfg);
+        self
+    }
+
+    /// Replaces the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Short name of the enabled family combination (for logs).
+    pub fn family_name(&self) -> &'static str {
+        match (&self.spikes, &self.wander, &self.gait) {
+            (None, None, None) => "none",
+            (Some(_), None, None) => "spikes",
+            (None, Some(_), None) => "wander",
+            (None, None, Some(_)) => "gait",
+            _ => "combined",
+        }
+    }
+}
+
+/// Renders the artifact waveform for `n` samples at `fs` Hz, in units of
+/// the channel DC level (1.0 = one DC).
+///
+/// # Panics
+///
+/// Panics if `fs` is non-positive.
+pub fn waveform(cfg: &ArtifactConfig, n: usize, fs: f64) -> Vec<f64> {
+    assert!(fs > 0.0, "sampling rate must be positive");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = vec![0.0f64; n];
+    if let Some(s) = &cfg.spikes {
+        add_spikes(&mut out, fs, s, &mut rng);
+    }
+    if let Some(w) = &cfg.wander {
+        add_wander(&mut out, fs, w, &mut rng);
+    }
+    if let Some(g) = &cfg.gait {
+        add_gait(&mut out, fs, g, &mut rng);
+    }
+    out
+}
+
+/// Contaminates both wavelength channels of a recording in place and
+/// returns the unit-DC artifact waveform that was added.
+///
+/// The artifact is common-mode (the optode moves as one), so each channel
+/// receives the same waveform scaled by its DC level. Ground truth
+/// (`sao2`, `fetal_truth`, `f0`, `draws`) is untouched.
+pub fn apply(rec: &mut TfoRecording, cfg: &ArtifactConfig) -> Vec<f64> {
+    let w = waveform(cfg, rec.len(), rec.config.fs);
+    for (li, dc) in DC_LEVELS.iter().enumerate() {
+        for (x, a) in rec.mixed[li].iter_mut().zip(&w) {
+            *x += dc * a;
+        }
+    }
+    w
+}
+
+fn add_spikes(out: &mut [f64], fs: f64, cfg: &SpikeConfig, rng: &mut StdRng) {
+    let p = (cfg.rate_hz / fs).clamp(0.0, 1.0);
+    let tau = (cfg.decay_s * fs).max(1.0);
+    let width = (5.0 * tau).ceil() as usize;
+    for i in 0..out.len() {
+        if !rng.gen_bool(p) {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let mag = cfg.amplitude * u.powf(-1.0 / cfg.tail).min(20.0);
+        let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+        for k in 0..=width.min(out.len() - 1 - i) {
+            out[i + k] += sign * mag * (-(k as f64) / tau).exp();
+        }
+    }
+}
+
+fn add_wander(out: &mut [f64], fs: f64, cfg: &WanderConfig, rng: &mut StdRng) {
+    let p = (cfg.burst_rate_hz / fs).clamp(0.0, 1.0);
+    for i in 0..out.len() {
+        if !rng.gen_bool(p) {
+            continue;
+        }
+        let dur_s = rng.gen_range(cfg.min_duration_s..cfg.max_duration_s);
+        let len = ((dur_s * fs) as usize).max(2);
+        let f = rng.gen_range(cfg.freq_band.0..cfg.freq_band.1);
+        let phase = rng.gen_range(0.0..TAU);
+        let amp = cfg.amplitude * rng.gen_range(0.6..1.4);
+        for k in 0..len.min(out.len() - i) {
+            let env = 0.5 * (1.0 - (TAU * k as f64 / len as f64).cos());
+            out[i + k] += amp * env * (TAU * f * k as f64 / fs + phase).sin();
+        }
+    }
+}
+
+fn add_gait(out: &mut [f64], fs: f64, cfg: &GaitConfig, rng: &mut StdRng) {
+    let tau = (cfg.decay_s * fs).max(1.0);
+    let width = (5.0 * tau).ceil() as usize;
+    let mut seg_start = 0.0;
+    for seg in &cfg.schedule.segments {
+        let seg_end = seg_start + seg.duration_s;
+        let scale = seg.activity.impact_scale();
+        if scale > 0.0 {
+            // First step settles in a fraction of a stride after the
+            // segment starts; subsequent strides carry timing jitter.
+            let mut t = seg_start + rng.gen_range(0.0..1.0) / seg.cadence_hz;
+            while t < seg_end {
+                let amp = (cfg.amplitude * scale * (1.0 + cfg.jitter * normal(rng))).max(0.0);
+                let onset = (t * fs) as usize;
+                if onset >= out.len() {
+                    break;
+                }
+                for k in 0..=width.min(out.len() - 1 - onset) {
+                    let kf = k as f64;
+                    out[onset + k] +=
+                        amp * (-kf / tau).exp() * (TAU * cfg.resonance_hz * kf / fs).cos();
+                }
+                t += (1.0 + cfg.jitter * normal(rng)).max(0.25) / seg.cadence_hz;
+            }
+        }
+        seg_start = seg_end;
+    }
+}
+
+/// Standard normal via Box–Muller (same idiom as
+/// [`schedule`](crate::schedule)).
+fn normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dualwave::{generate, DualWaveConfig, Spo2Scenario};
+    use dhf_dsp::stats::rms;
+
+    const FS: f64 = 100.0;
+    const N: usize = 6000; // 60 s
+
+    #[test]
+    fn waveform_is_deterministic_per_seed() {
+        let cfg = ArtifactConfig::spikes(3).with_wander(WanderConfig::default()).with_gait(
+            GaitConfig::new(ActivitySchedule::walk_run_rest(60.0, &mut StdRng::seed_from_u64(3))),
+        );
+        assert_eq!(waveform(&cfg, N, FS), waveform(&cfg, N, FS));
+        let other = waveform(&cfg.clone().with_seed(4), N, FS);
+        assert_ne!(waveform(&cfg, N, FS), other, "seeds must decorrelate");
+    }
+
+    #[test]
+    fn spikes_are_sparse_and_impulsive() {
+        let w = waveform(&ArtifactConfig::spikes(1), N, FS);
+        let peak = w.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let active = w.iter().filter(|v| v.abs() > 0.05 * peak).count();
+        assert!(peak > 0.0, "no spikes generated");
+        assert!(active < N / 10, "spikes must be sparse, {active}/{N} samples active");
+    }
+
+    #[test]
+    fn spike_amplitudes_are_heavy_tailed() {
+        // With a Pareto tail the max over many draws dwarfs the median.
+        let cfg = ArtifactConfig::none(9)
+            .with_spikes(SpikeConfig { rate_hz: 5.0, ..SpikeConfig::default() });
+        let w = waveform(&cfg, 60_000, FS);
+        let peak = w.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let base = SpikeConfig::default().amplitude;
+        assert!(peak > 3.0 * base, "max spike {peak} shows no heavy tail over scale {base}");
+    }
+
+    #[test]
+    fn wander_is_low_frequency() {
+        let cfg = ArtifactConfig::none(5)
+            .with_wander(WanderConfig { burst_rate_hz: 0.2, ..WanderConfig::default() });
+        let w = waveform(&cfg, N, FS);
+        assert!(rms(&w) > 0.0, "no bursts generated");
+        // Mean absolute first difference is tiny relative to amplitude
+        // for sub-Hz content at 100 Hz sampling.
+        let diff: f64 =
+            w.windows(2).map(|p| (p[1] - p[0]).abs()).sum::<f64>() / (w.len() - 1) as f64;
+        let level: f64 = w.iter().map(|v| v.abs()).sum::<f64>() / w.len() as f64;
+        assert!(diff < 0.1 * level, "wander is not slow: diff {diff} vs level {level}");
+    }
+
+    #[test]
+    fn gait_is_silent_at_rest_and_active_while_moving() {
+        let schedule = ActivitySchedule::new(vec![
+            ActivitySegment { activity: Activity::Rest, duration_s: 20.0, cadence_hz: 0.0 },
+            ActivitySegment { activity: Activity::Run, duration_s: 20.0, cadence_hz: 2.8 },
+        ]);
+        let cfg = ArtifactConfig::none(2).with_gait(GaitConfig::new(schedule));
+        let w = waveform(&cfg, 4000, FS);
+        let rest = rms(&w[..1900]);
+        let run = rms(&w[2100..]);
+        assert!(rest < 1e-12, "rest segment must be silent, rms {rest}");
+        assert!(run > 1e-3, "run segment must carry impacts, rms {run}");
+    }
+
+    #[test]
+    fn gait_steps_follow_the_cadence() {
+        let schedule = ActivitySchedule::new(vec![ActivitySegment {
+            activity: Activity::Walk,
+            duration_s: 60.0,
+            cadence_hz: 2.0,
+        }]);
+        let mut gait = GaitConfig::new(schedule);
+        gait.jitter = 0.0;
+        let w = waveform(&ArtifactConfig::none(1).with_gait(gait), N, FS);
+        // Count ring-down onsets: samples where the envelope jumps.
+        let peak = w.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let mut onsets = 0;
+        let mut armed = true;
+        for v in &w {
+            if v.abs() > 0.5 * peak {
+                if armed {
+                    onsets += 1;
+                }
+                armed = false;
+            } else if v.abs() < 0.05 * peak {
+                armed = true;
+            }
+        }
+        let expected = 60.0 * 2.0;
+        assert!(
+            (onsets as f64) > 0.6 * expected && (onsets as f64) < 1.4 * expected,
+            "found {onsets} strikes for expected {expected}"
+        );
+    }
+
+    #[test]
+    fn random_schedule_covers_duration_with_all_activities() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let s = ActivitySchedule::walk_run_rest(120.0, &mut rng);
+        assert!(s.total_duration_s() >= 120.0);
+        assert!(s.segments.iter().any(|x| x.activity == Activity::Walk));
+        assert!(s.segments.iter().any(|x| x.activity == Activity::Run));
+        assert!(s.segments.iter().any(|x| x.activity == Activity::Rest));
+        for seg in &s.segments {
+            if let Some((lo, hi)) = seg.activity.cadence_band() {
+                assert!((lo..hi).contains(&seg.cadence_hz), "cadence {}", seg.cadence_hz);
+            }
+        }
+    }
+
+    #[test]
+    fn segment_lookup_walks_the_timeline() {
+        let s = ActivitySchedule::new(vec![
+            ActivitySegment { activity: Activity::Walk, duration_s: 10.0, cadence_hz: 1.8 },
+            ActivitySegment { activity: Activity::Rest, duration_s: 5.0, cadence_hz: 0.0 },
+        ]);
+        assert_eq!(s.segment_at(0.0).activity, Activity::Walk);
+        assert_eq!(s.segment_at(12.0).activity, Activity::Rest);
+        assert_eq!(s.segment_at(99.0).activity, Activity::Rest, "clamps past the end");
+    }
+
+    #[test]
+    #[should_panic(expected = "cadence")]
+    fn non_rest_segment_rejects_zero_cadence() {
+        let _ = ActivitySchedule::new(vec![ActivitySegment {
+            activity: Activity::Walk,
+            duration_s: 10.0,
+            cadence_hz: 0.0,
+        }]);
+    }
+
+    #[test]
+    fn apply_contaminates_mixture_but_not_ground_truth() {
+        let mut rec = generate(&DualWaveConfig::new(Spo2Scenario::desaturation(0.55, 0.35), 30.0));
+        let clean = rec.clone();
+        let w = apply(&mut rec, &ArtifactConfig::gait(30.0, 6));
+        assert_eq!(w.len(), rec.len());
+        for li in 0..2 {
+            assert_ne!(rec.mixed[li], clean.mixed[li], "λ{li} mixture unchanged");
+            assert_eq!(rec.fetal_truth[li], clean.fetal_truth[li]);
+        }
+        assert_eq!(rec.sao2, clean.sao2);
+        assert_eq!(rec.f0, clean.f0);
+        // Common mode: channel deltas are the waveform scaled by DC.
+        for (li, dc) in DC_LEVELS.iter().enumerate() {
+            for (i, &wi) in w.iter().enumerate() {
+                let delta = rec.mixed[li][i] - clean.mixed[li][i];
+                assert!((delta - dc * wi).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn family_names_cover_combinations() {
+        assert_eq!(ArtifactConfig::none(0).family_name(), "none");
+        assert_eq!(ArtifactConfig::spikes(0).family_name(), "spikes");
+        assert_eq!(ArtifactConfig::wander(0).family_name(), "wander");
+        assert_eq!(ArtifactConfig::gait(10.0, 0).family_name(), "gait");
+        let combined = ArtifactConfig::spikes(0).with_wander(WanderConfig::default());
+        assert_eq!(combined.family_name(), "combined");
+    }
+}

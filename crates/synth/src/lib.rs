@@ -15,6 +15,9 @@
 //! * [`dualwave`] — scenario-driven dual-wavelength recordings (constant /
 //!   ramp / desaturation SpO2 trajectories) for scoring the oximetry
 //!   pipeline against programmable ground truth.
+//! * [`artifact`] — seeded motion-artifact contamination (impulsive
+//!   spikes, baseline-wander bursts, gait-periodic impact trains over an
+//!   activity schedule) composable with any recording above.
 //!
 //! Waveform templates substitute for data we cannot access (sheep
 //! respiration shapes, MIMIC-IV pulses) — see `DESIGN.md` for why the
@@ -34,6 +37,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod dualwave;
 pub mod duet;
 pub mod invivo;

@@ -1,0 +1,210 @@
+//! Property tests for the HPSS stage, pinning the three contracts the
+//! transient-rejection path rests on:
+//!
+//! 1. The shared 2-D median filter (`dhf_dsp::median`) is **bit-identical**
+//!    to the obvious gather-and-sort reference across shapes and kernel
+//!    widths, including the shrinking edge-clamped windows and even-width
+//!    forcing.
+//! 2. The soft median masks (`dhf_baselines::hpss::MedianHpss`) are
+//!    complementary — `H + P ≤ 1`, with equality up to the `1e-10`
+//!    stabilizer wherever the spectrogram has energy — so the split
+//!    conserves the reconstruction: `harmonic + percussive ≈ istft(stft(x))`.
+//! 3. The streaming front filter (`dhf_stream::FrontFilter`) is the same
+//!    algorithm as the offline reference: on a whole-signal chunk its
+//!    output matches `MedianHpss`'s harmonic component in the interior,
+//!    away from the windowing edges and the streaming zero-pad tail
+//!    (mirroring the interior-equivalence style of
+//!    `crates/stream/tests/equivalence.rs`).
+
+use dhf::baselines::hpss::MedianHpss;
+use dhf::dsp::median::median_filter_2d;
+use dhf::dsp::stft::{istft, stft, StftConfig};
+use dhf::stream::{FrontFilter, HpssFrontConfig};
+use proptest::prelude::*;
+use std::f64::consts::TAU;
+
+/// Gather-and-sort median: the reference `median_filter_2d` must equal.
+fn naive_median(win: &mut [f64]) -> f64 {
+    win.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = win.len();
+    if n % 2 == 1 {
+        win[n / 2]
+    } else {
+        0.5 * (win[n / 2 - 1] + win[n / 2])
+    }
+}
+
+/// The shared click-train-over-tones fixture: sustained tones at `f1`/`f2`
+/// plus an exponentially decaying click every `click_every` samples.
+fn clicky_tones(
+    n: usize,
+    fs: f64,
+    f1: f64,
+    f2: f64,
+    a2: f64,
+    click_every: usize,
+    click_amp: f64,
+) -> Vec<f64> {
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| {
+            let t = i as f64 / fs;
+            (TAU * f1 * t).sin() + a2 * (TAU * f2 * t).sin()
+        })
+        .collect();
+    let mut i = click_every;
+    while i < n {
+        for j in 0..12.min(n - i) {
+            x[i + j] += click_amp * (-(j as f64) / 4.0).exp();
+        }
+        i += click_every;
+    }
+    x
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn median_2d_is_bit_identical_to_gather_sort(
+        rows in 1usize..9,
+        cols in 1usize..9,
+        kr in 1usize..8,
+        kc in 1usize..8,
+        values in prop::collection::vec(-1e3f64..1e3, 64),
+    ) {
+        let img = &values[..rows * cols];
+        let got = median_filter_2d(img, rows, cols, kr, kc);
+        // The filter forces even kernel widths to the next odd.
+        let (hr, hc) = ((kr | 1) / 2, (kc | 1) / 2);
+        let mut win = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                win.clear();
+                for rr in r.saturating_sub(hr)..(r + hr + 1).min(rows) {
+                    for cc in c.saturating_sub(hc)..(c + hc + 1).min(cols) {
+                        win.push(img[rr * cols + cc]);
+                    }
+                }
+                let want = naive_median(&mut win);
+                prop_assert_eq!(
+                    got[r * cols + c].to_bits(),
+                    want.to_bits(),
+                    "({},{}) kernel {}x{}: {} != {}",
+                    r, c, kr, kc, got[r * cols + c], want
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masks_are_complementary(
+        bins in 1usize..7,
+        frames in 1usize..7,
+        kt in 1usize..6,
+        kf in 1usize..6,
+        power in 0.5f64..4.0,
+        values in prop::collection::vec(0.1f64..10.0, 36),
+    ) {
+        let mag = &values[..bins * frames];
+        let hpss = MedianHpss {
+            kernel_time: kt,
+            kernel_freq: kf,
+            power,
+            ..MedianHpss::default()
+        };
+        let (mh, mp) = hpss.masks(mag, bins, frames);
+        for i in 0..mag.len() {
+            prop_assert!((0.0..=1.0).contains(&mh[i]), "mask_h[{}] = {}", i, mh[i]);
+            prop_assert!((0.0..=1.0).contains(&mp[i]), "mask_p[{}] = {}", i, mp[i]);
+            let sum = mh[i] + mp[i];
+            // Every magnitude is ≥ 0.1, so every median is too, and the
+            // enhanced images dwarf the 1e-10 stabilizer: the pair must
+            // sum to one essentially exactly, never beyond it.
+            prop_assert!(
+                (1.0 - 1e-5..=1.0 + 1e-12).contains(&sum),
+                "mask sum at {} is {} (H {}, P {})",
+                i, sum, mh[i], mp[i]
+            );
+        }
+    }
+
+    /// Complementarity through the synthesis path: the two masked
+    /// resyntheses reassemble the unmasked reconstruction.
+    #[test]
+    fn split_components_conserve_the_reconstruction(
+        f1 in 0.8f64..3.0,
+        f2 in 3.5f64..8.0,
+        a2 in 0.1f64..1.0,
+        click_every in 120usize..260,
+        click_amp in 0.5f64..3.0,
+        n in 900usize..1400,
+    ) {
+        let fs = 100.0;
+        let x = clicky_tones(n, fs, f1, f2, a2, click_every, click_amp);
+        let hpss = MedianHpss { window_s: 1.28, hop_s: 0.32, ..MedianHpss::default() };
+        let parts = hpss.split(&x, fs).unwrap();
+
+        let cfg = StftConfig::new(128, 32, fs).unwrap();
+        let recon = istft(&stft(&x, &cfg).unwrap());
+        prop_assert_eq!(parts.harmonic.len(), recon.len());
+        let rms = (recon.iter().map(|v| v * v).sum::<f64>() / recon.len() as f64).sqrt();
+        for (i, &r) in recon.iter().enumerate() {
+            let sum = parts.harmonic[i] + parts.percussive[i];
+            prop_assert!(
+                (sum - r).abs() <= 1e-6 * rms.max(1.0),
+                "H+P diverges from the reconstruction at {}: {} vs {}",
+                i, sum, r
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_filter_matches_offline_harmonic_interior(
+        f1 in 0.8f64..3.0,
+        f2 in 3.5f64..8.0,
+        a2 in 0.1f64..1.0,
+        click_every in 120usize..260,
+        click_amp in 0.5f64..3.0,
+        n in 2200usize..3000,
+    ) {
+        let fs = 100.0;
+        let mut x = clicky_tones(n, fs, f1, f2, a2, click_every, click_amp);
+        // Zero the mean so the streaming filter's mean-restore path and
+        // the mean-naive offline reference see the same spectrogram.
+        let mean = x.iter().sum::<f64>() / n as f64;
+        for v in &mut x {
+            *v -= mean;
+        }
+
+        let fcfg = HpssFrontConfig::default();
+        let mut filter = FrontFilter::new(fcfg.clone(), fs).unwrap();
+        let got = filter.filter(&x).to_vec();
+        prop_assert_eq!(got.len(), n);
+
+        let offline = MedianHpss {
+            window_s: fcfg.window_len as f64 / fs,
+            hop_s: fcfg.hop as f64 / fs,
+            kernel_time: fcfg.kernel_time,
+            kernel_freq: fcfg.kernel_freq,
+            power: fcfg.power,
+            margin_h: fcfg.margin_h,
+            margin_p: fcfg.margin_p,
+        };
+        let want = offline.split(&x, fs).unwrap().harmonic;
+
+        // Interior: past one analysis window plus the reach of the time
+        // median (the streaming zero-pad tail feeds extra frames into the
+        // last kernel_time/2 medians, and istft edge normalization covers
+        // one window at each end).
+        let skip = 2 * fcfg.window_len + (fcfg.kernel_time / 2 + 1) * fcfg.hop;
+        prop_assert!(n > 2 * skip, "fixture too short for the interior");
+        let rms = (x.iter().map(|v| v * v).sum::<f64>() / n as f64).sqrt();
+        for i in skip..n - skip {
+            prop_assert!(
+                (got[i] - want[i]).abs() <= 1e-6 * rms.max(1.0),
+                "streaming/offline divergence at {}: {} vs {}",
+                i, got[i], want[i]
+            );
+        }
+    }
+}

@@ -15,8 +15,11 @@
 pub mod strategy;
 pub mod test_runner;
 
+pub use strategy::collection;
+
 /// One-stop import mirroring `proptest::prelude::*`.
 pub mod prelude {
+    pub use crate as prop;
     pub use crate::strategy::Strategy;
     pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};

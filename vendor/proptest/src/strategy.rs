@@ -78,3 +78,31 @@ impl<T: Clone + core::fmt::Debug> Strategy for Just<T> {
         self.0.clone()
     }
 }
+
+/// Collection strategies mirroring `proptest::collection`.
+pub mod collection {
+    use super::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Vec`s of `len` elements drawn from `element`
+    /// (upstream also accepts a length *range*; the suite only uses fixed
+    /// lengths).
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy returned by [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}

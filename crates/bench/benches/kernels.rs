@@ -76,7 +76,8 @@ fn bench_stft(c: &mut Criterion) {
 
 fn bench_harmonic_conv(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
-    let x = Tensor::rand_normal(&[8, 65, 88], 1.0, &mut rng);
+    // Pin the production scalar: the tensor stack is generic over f32/f64.
+    let x: Tensor<f32> = Tensor::rand_normal(&[8, 65, 88], 1.0, &mut rng);
     let w = Tensor::rand_normal(&[8, 8, 4, 3], 0.2, &mut rng);
     let mut out = Tensor::zeros(&[8, 65, 88]);
     c.bench_function("harmonic_conv_fwd_8x65x88", |b| {

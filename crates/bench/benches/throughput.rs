@@ -17,7 +17,11 @@ use dhf_bench::{
 };
 use dhf_core::{DhfConfig, RoundContext};
 use dhf_dsp::simd;
+use dhf_nn::{DeepPriorNet, NetConfig};
 use dhf_stream::{separate_streamed, HpssFrontConfig, StreamingConfig, StreamingSeparator};
+use dhf_tensor::{Scalar, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::hint::black_box;
 
 /// Two drifting quasi-periodic sources, rendered long enough for many
@@ -205,6 +209,8 @@ fn throughput_summary() {
     // profile signal. This is the per-stage evidence behind the
     // "deep-prior fit dominates full-config cost" claim: compare the
     // nn_fit row across the two tables.
+    let warm_block = warm_start_ab();
+
     let n_prof = if fast_mode() { 3000 } else { 6000 };
     let (pmix, ptracks) = make_mix(fs, n_prof);
     let mut full_cfg = DhfConfig::default();
@@ -279,6 +285,7 @@ fn throughput_summary() {
                 .num("speedup", simd_speedup)
                 .obj("kernels", kernel_ratios),
         )
+        .obj("warm_start", warm_block)
         .obj(
             "stage_breakdown",
             JsonObject::new()
@@ -289,6 +296,96 @@ fn throughput_summary() {
         );
     let path = write_bench_json("BENCH_dsp.json", &json);
     println!("wrote {}", path.display());
+}
+
+/// Warm-start A/B: a full-configuration (paper-budget) deep-prior
+/// streaming session with and without warm starting, timed on the
+/// steady-state one-chunk advance — the latency a live consumer sees
+/// once the first chunk has trained the prior. Also records the
+/// f32-vs-f64 single-fit A/B behind the tensor stack's production
+/// precision (the accuracy side of that trade is pinned by
+/// `dhf_nn`'s precision tests).
+fn warm_start_ab() -> JsonObject {
+    let fs = 100.0;
+    let chunk = 3000usize;
+    let overlap = 600usize;
+    // The true full-config budget, not the fast-mode override: the
+    // warm-start claim is about making the paper configuration stream at
+    // interactive latency, so the A/B always measures that configuration
+    // (one source keeps the absolute cost bounded — per-fit cost scales
+    // linearly in sources and the ratio is per fit).
+    let mut dhf = DhfConfig::default();
+    dhf.inpaint.warm = None; // pin cold regardless of DHF_WARM_START
+    let full_iters = dhf.inpaint.iterations;
+    let cold_cfg = StreamingConfig::new(chunk, overlap, dhf).expect("cold config");
+    let warm_cfg = cold_cfg.clone().with_warm_start();
+    let hop = cold_cfg.hop();
+    let n = chunk + hop;
+    let (mix, tracks) = make_mix(fs, n);
+    let tracks = &tracks[..1];
+
+    // First chunk (always a cold fit), then time exactly one chunk
+    // advance: one more push of `hop` samples triggers one separation.
+    let advance = |cfg: &StreamingConfig| -> (f64, u64, u64) {
+        let mut sep = StreamingSeparator::new(fs, 1, cfg.clone()).expect("session");
+        let t: Vec<&[f64]> = tracks.iter().map(|t| &t[..chunk]).collect();
+        sep.push(&mix[..chunk], &t).expect("first chunk");
+        let t: Vec<&[f64]> = tracks.iter().map(|t| &t[chunk..]).collect();
+        let sw = Stopwatch::start();
+        let blocks = sep.push(&mix[chunk..], &t).expect("one-chunk advance");
+        let secs = sw.secs();
+        black_box(blocks);
+        (secs, sep.warm_hits(), sep.cold_fits())
+    };
+    let (t_cold, cold_session_hits, _) = advance(&cold_cfg);
+    let (t_warm, warm_hits, warm_session_colds) = advance(&warm_cfg);
+    assert_eq!(cold_session_hits, 0, "the cold session must never resume weights");
+    assert_eq!(warm_hits, 1, "the warm session's second chunk must resume weights");
+    assert_eq!(warm_session_colds, 1, "only the warm session's first chunk cold-fits");
+    let speedup = t_cold / t_warm;
+
+    // f32-vs-f64 fit A/B on a full-config-shaped prior (best of 3).
+    fn fit_secs<S: Scalar>(iters: usize) -> f64 {
+        let (bins, frames) = (64, 48);
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let mut rng = StdRng::seed_from_u64(0xF32);
+            let mut net: DeepPriorNet<S> =
+                DeepPriorNet::new(&NetConfig::default(), bins, frames, &mut rng).expect("net");
+            let target = Tensor::filled(&[1, bins, frames], S::from_f32(0.3));
+            let mask = Tensor::filled(&[1, bins, frames], S::ONE);
+            let sw = Stopwatch::start();
+            black_box(net.fit(&target, &mask, iters, 0.01));
+            best = best.min(sw.secs());
+        }
+        best
+    }
+    let fit_iters = if fast_mode() { 40 } else { 120 };
+    let t_f32 = fit_secs::<f32>(fit_iters);
+    let t_f64 = fit_secs::<f64>(fit_iters);
+
+    println!("\n== warm start, full config ({full_iters} iterations, 1 source) ==");
+    println!("one-chunk advance: cold {t_cold:.3} s, warm {t_warm:.3} s — {speedup:.1}x");
+    println!(
+        "nn fit precision : f32 {t_f32:.3} s, f64 {t_f64:.3} s — {:.2}x ({fit_iters} iters)",
+        t_f64 / t_f32
+    );
+
+    JsonObject::new()
+        .int("full_iterations", full_iters as u64)
+        .int("chunk_samples", chunk as u64)
+        .num("one_chunk_advance_secs_cold", t_cold)
+        .num("one_chunk_advance_secs_warm", t_warm)
+        .num("warm_speedup", speedup)
+        .int("warm_fits", warm_hits)
+        .obj(
+            "f32_vs_f64",
+            JsonObject::new()
+                .int("fit_iterations", fit_iters as u64)
+                .num("fit_secs_f32", t_f32)
+                .num("fit_secs_f64", t_f64)
+                .num("f32_speedup", t_f64 / t_f32),
+        )
 }
 
 /// Stage-level profile of the offline pipeline under one configuration:

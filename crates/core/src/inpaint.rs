@@ -9,7 +9,7 @@
 //! "prior" reduced to pure temporal continuity.
 
 use crate::DhfError;
-use dhf_nn::{DeepPriorNet, NetConfig, TrainReport};
+use dhf_nn::{DeepPriorNet, FitParams, NetConfig, TrainReport, WarmFitParams, WeightState};
 use dhf_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -41,17 +41,29 @@ pub struct InpaintConfig {
     pub keep_visible: bool,
     /// Seed for the network init and noise code.
     pub seed: u64,
+    /// Warm-start budget. `Some` lets callers that keep a [`WarmSlot`]
+    /// alive (the streaming engine's persistent round context) resume the
+    /// previous invocation's trained prior with a short fine-tune instead
+    /// of a from-scratch fit. `None` (the default) always fits cold.
+    pub warm: Option<WarmFitParams>,
 }
 
 impl Default for InpaintConfig {
     fn default() -> Self {
         InpaintConfig {
             method: InpaintMethod::DeepPrior,
-            iterations: 300,
-            lr: 0.01,
+            iterations: FitParams::FULL.iterations,
+            lr: FitParams::FULL.lr,
             net: NetConfig::default(),
             keep_visible: true,
             seed: 0x0D1F,
+            // Opt-in via the environment so CI can run the whole tier-1
+            // suite on the warm path without per-test plumbing.
+            warm: if std::env::var("DHF_WARM_START").as_deref() == Ok("1") {
+                Some(WarmFitParams::default())
+            } else {
+                None
+            },
         }
     }
 }
@@ -63,6 +75,54 @@ pub struct InpaintOutcome {
     pub magnitude: Vec<f64>,
     /// Training summary (deep prior only).
     pub report: Option<TrainReport>,
+}
+
+/// Persistent warm-start state for one in-painting lane.
+///
+/// The streaming engine keeps one slot per source: the net trained on
+/// chunk *k* stays resident and chunk *k+1* resumes it with a short
+/// fine-tune ([`InpaintConfig::warm`]). A slot can also be *seeded* with a
+/// [`WeightState`] snapshot (the serving runtime's warm pools hand states
+/// across sessions); the next compatible in-paint adopts it instead of
+/// fitting cold.
+#[derive(Debug, Default)]
+pub struct WarmSlot {
+    net: Option<DeepPriorNet>,
+    pending: Option<WeightState>,
+}
+
+impl WarmSlot {
+    /// Forgets the resident net and any pending snapshot.
+    pub fn clear(&mut self) {
+        self.net = None;
+        self.pending = None;
+    }
+
+    /// True when a trained net is resident.
+    pub fn is_warm(&self) -> bool {
+        self.net.is_some()
+    }
+
+    /// Snapshots the resident net's weights (for serving warm pools).
+    pub fn capture(&self) -> Option<WeightState> {
+        self.net.as_ref().map(DeepPriorNet::capture_weights)
+    }
+
+    /// Stages a snapshot for adoption by the next compatible in-paint.
+    pub fn seed(&mut self, state: WeightState) {
+        self.pending = Some(state);
+    }
+}
+
+/// How a deep-prior invocation obtained its weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmEvent {
+    /// Resumed a resident (or seeded) weight state with a warm fine-tune.
+    Warm,
+    /// Fit from scratch.
+    Cold,
+    /// No fit ran (non-deep-prior method, or an all-zero image).
+    Bypass,
 }
 
 /// In-paints a magnitude image under a visibility mask
@@ -128,18 +188,28 @@ fn harmonic_interp(
     out
 }
 
-/// Deep-prior in-painting: normalize, pad the time axis to the pooling
-/// schedule, train the masked objective, denormalize and crop.
-fn deep_prior(
+/// Shared preparation of a deep-prior fit: peak normalization, time-axis
+/// padding to the pooling schedule, the adaptive output bias, and the
+/// padded target/mask images.
+struct FitSetup {
+    peak: f64,
+    padded: usize,
+    target: Tensor,
+    mask: Tensor,
+    net_cfg: NetConfig,
+}
+
+/// Returns `None` for an all-zero image (nothing to in-paint).
+fn fit_setup(
     magnitude: &[f64],
     bins: usize,
     frames: usize,
     mask_visible: &[f32],
     cfg: &InpaintConfig,
-) -> Result<InpaintOutcome, DhfError> {
+) -> Option<FitSetup> {
     let peak = magnitude.iter().cloned().fold(0.0f64, f64::max);
     if peak <= 0.0 {
-        return Ok(InpaintOutcome { magnitude: magnitude.to_vec(), report: None });
+        return None;
     }
     let td = cfg.net.time_divisor();
     let padded = frames.div_ceil(td) * td;
@@ -171,13 +241,51 @@ fn deep_prior(
         }
     }
 
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut net_cfg = cfg.net.clone();
     net_cfg.output_bias = output_bias;
-    let mut net = DeepPriorNet::new(&net_cfg, bins, padded, &mut rng)?;
-    let report = net.fit(&target, &mask, cfg.iterations, cfg.lr);
-    let img = net.output_image();
+    Some(FitSetup { peak, padded, target, mask, net_cfg })
+}
 
+/// How many extra time frames a warm fit may pad beyond the minimum to
+/// land on a resident (or seeded) net's extent. Unwarped chunk lengths
+/// wobble a few frames as the f0 track drifts; without this slack the
+/// architecture fingerprint would miss on nearly every drifting stream
+/// and warm starts would silently degrade to cold refits.
+pub const WARM_PAD_SLACK_FRAMES: usize = 16;
+
+/// Widens a prepared fit to `new_padded` time frames. The extra columns
+/// carry zero target and zero mask, so they are invisible to the loss —
+/// a slightly wider net fits the same content.
+fn repad(setup: &mut FitSetup, bins: usize, new_padded: usize) {
+    if new_padded == setup.padded {
+        return;
+    }
+    let old = setup.padded;
+    let mut target = Tensor::zeros(&[1, bins, new_padded]);
+    let mut mask = Tensor::zeros(&[1, bins, new_padded]);
+    for b in 0..bins {
+        for m in 0..old {
+            target.data_mut()[b * new_padded + m] = setup.target.data()[b * old + m];
+            mask.data_mut()[b * new_padded + m] = setup.mask.data()[b * old + m];
+        }
+    }
+    setup.target = target;
+    setup.mask = mask;
+    setup.padded = new_padded;
+}
+
+/// Denormalizes the fitted image and overlays visible cells per
+/// `keep_visible`.
+fn overlay_output(
+    magnitude: &[f64],
+    bins: usize,
+    frames: usize,
+    mask_visible: &[f32],
+    cfg: &InpaintConfig,
+    peak: f64,
+    img: &Tensor,
+) -> Vec<f64> {
+    let padded = img.shape()[2];
     let mut out = vec![0.0f64; bins * frames];
     for b in 0..bins {
         for m in 0..frames {
@@ -189,7 +297,143 @@ fn deep_prior(
             };
         }
     }
+    out
+}
+
+/// Deep-prior in-painting: normalize, pad the time axis to the pooling
+/// schedule, train the masked objective, denormalize and crop.
+fn deep_prior(
+    magnitude: &[f64],
+    bins: usize,
+    frames: usize,
+    mask_visible: &[f32],
+    cfg: &InpaintConfig,
+) -> Result<InpaintOutcome, DhfError> {
+    let Some(setup) = fit_setup(magnitude, bins, frames, mask_visible, cfg) else {
+        return Ok(InpaintOutcome { magnitude: magnitude.to_vec(), report: None });
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut net = DeepPriorNet::new(&setup.net_cfg, bins, setup.padded, &mut rng)?;
+    let report = net.fit(&setup.target, &setup.mask, cfg.iterations, cfg.lr);
+    let out =
+        overlay_output(magnitude, bins, frames, mask_visible, cfg, setup.peak, &net.output_image());
     Ok(InpaintOutcome { magnitude: out, report: Some(report) })
+}
+
+/// Warm-capable variant of [`inpaint_magnitude`]: when
+/// [`InpaintConfig::warm`] is set and `slot` holds a compatible trained
+/// net (or a seeded snapshot), the fit resumes from those weights with a
+/// bounded fine-tune; otherwise it falls back to the cold path and leaves
+/// the freshly trained net resident for the next call.
+///
+/// Compatibility tolerates frame-count wobble: the fit may pad up to
+/// [`WARM_PAD_SLACK_FRAMES`] extra time frames beyond the minimum to land
+/// on the resident net's extent, so the slightly varying unwarped chunk
+/// lengths of a drifting stream still warm-start. A chunk that *outgrows*
+/// the resident net (or drifts past the slack) falls back to cold.
+///
+/// The cold path taken through this entry is bit-identical to
+/// [`inpaint_magnitude`]: same seed derivation, same fit budget.
+///
+/// # Errors
+///
+/// Same conditions as [`inpaint_magnitude`].
+///
+/// # Panics
+///
+/// Panics if `magnitude.len() != bins * frames` or the mask size differs.
+pub fn inpaint_magnitude_warm(
+    magnitude: &[f64],
+    bins: usize,
+    frames: usize,
+    mask_visible: &[f32],
+    cfg: &InpaintConfig,
+    slot: &mut WarmSlot,
+) -> Result<(InpaintOutcome, WarmEvent), DhfError> {
+    assert_eq!(magnitude.len(), bins * frames, "magnitude image size");
+    assert_eq!(mask_visible.len(), bins * frames, "mask image size");
+    match cfg.method {
+        InpaintMethod::HarmonicInterp => Ok((
+            InpaintOutcome {
+                magnitude: harmonic_interp(magnitude, bins, frames, mask_visible),
+                report: None,
+            },
+            WarmEvent::Bypass,
+        )),
+        InpaintMethod::DeepPrior => {
+            let Some(warm_params) = cfg.warm else {
+                // Warm starts disabled: keep nothing resident.
+                slot.clear();
+                return deep_prior(magnitude, bins, frames, mask_visible, cfg).map(|o| {
+                    let ev = if o.report.is_some() { WarmEvent::Cold } else { WarmEvent::Bypass };
+                    (o, ev)
+                });
+            };
+            let Some(mut setup) = fit_setup(magnitude, bins, frames, mask_visible, cfg) else {
+                return Ok((
+                    InpaintOutcome { magnitude: magnitude.to_vec(), report: None },
+                    WarmEvent::Bypass,
+                ));
+            };
+            // Pad-slack scan: prefer the extent whose architecture matches
+            // the resident net, else one matching a seeded snapshot, else
+            // keep the minimum padding (which also keeps the slot-empty
+            // cold fit bit-identical to the plain entry point).
+            let td = cfg.net.time_divisor();
+            let resident_fp = slot.net.as_ref().map(|n| n.weight_fingerprint());
+            let pending_fp = slot.pending.as_ref().map(|s| s.fingerprint());
+            let mut chosen = None;
+            let mut p = setup.padded;
+            while p <= setup.padded + WARM_PAD_SLACK_FRAMES {
+                let f = setup.net_cfg.architecture_fingerprint(bins, p);
+                if Some(f) == resident_fp {
+                    chosen = Some(p);
+                    break;
+                }
+                if chosen.is_none() && Some(f) == pending_fp {
+                    chosen = Some(p);
+                }
+                p += td;
+            }
+            if let Some(p) = chosen {
+                repad(&mut setup, bins, p);
+            }
+            let fp = setup.net_cfg.architecture_fingerprint(bins, setup.padded);
+            let resident_ok = slot.net.as_ref().is_some_and(|n| n.weight_fingerprint() == fp);
+            let mut event = WarmEvent::Warm;
+            if !resident_ok {
+                // Discontinuity (extent or dilation change) or first call:
+                // rebuild, adopting a seeded snapshot when one fits.
+                slot.net = None;
+                let mut rng = StdRng::seed_from_u64(cfg.seed);
+                let mut net = DeepPriorNet::new(&setup.net_cfg, bins, setup.padded, &mut rng)?;
+                let adopted = match slot.pending.take() {
+                    Some(state) => net.restore_weights(&state).is_ok(),
+                    None => false,
+                };
+                if !adopted {
+                    event = WarmEvent::Cold;
+                }
+                slot.net = Some(net);
+            }
+            let net = slot.net.as_mut().expect("slot holds a net here");
+            let report = if event == WarmEvent::Warm {
+                net.fit_warm(&setup.target, &setup.mask, &warm_params)
+            } else {
+                net.fit(&setup.target, &setup.mask, cfg.iterations, cfg.lr)
+            };
+            let out = overlay_output(
+                magnitude,
+                bins,
+                frames,
+                mask_visible,
+                cfg,
+                setup.peak,
+                &net.output_image(),
+            );
+            Ok((InpaintOutcome { magnitude: out, report: Some(report) }, event))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +472,7 @@ mod tests {
             },
             keep_visible: true,
             seed: 7,
+            warm: None,
         }
     }
 
@@ -306,5 +551,136 @@ mod tests {
         let out =
             inpaint_magnitude(&mag, 4, 8, &mask, &tiny_cfg(InpaintMethod::DeepPrior)).unwrap();
         assert_eq!(out.magnitude, mag);
+    }
+
+    #[test]
+    fn warm_entry_cold_path_matches_plain_inpaint_bitwise() {
+        let (mag, bins, frames, mask) = ridge_case();
+        let cfg = InpaintConfig { iterations: 40, ..tiny_cfg(InpaintMethod::DeepPrior) };
+        let plain = inpaint_magnitude(&mag, bins, frames, &mask, &cfg).unwrap();
+
+        // Warm disabled: identical result, nothing kept resident.
+        let mut slot = WarmSlot::default();
+        let (off, ev) = inpaint_magnitude_warm(&mag, bins, frames, &mask, &cfg, &mut slot).unwrap();
+        assert_eq!(ev, WarmEvent::Cold);
+        assert!(!slot.is_warm());
+        assert_eq!(off, plain);
+
+        // Warm enabled but slot empty: the first fit is cold and bitwise
+        // identical to the plain path, and the net stays resident.
+        let warm_cfg = InpaintConfig { warm: Some(WarmFitParams::default()), ..cfg };
+        let mut slot = WarmSlot::default();
+        let (first, ev) =
+            inpaint_magnitude_warm(&mag, bins, frames, &mask, &warm_cfg, &mut slot).unwrap();
+        assert_eq!(ev, WarmEvent::Cold);
+        assert!(slot.is_warm());
+        assert_eq!(first, plain);
+    }
+
+    #[test]
+    fn second_invocation_is_warm_and_bounded() {
+        let (mag, bins, frames, mask) = ridge_case();
+        let warm_params = WarmFitParams::default();
+        let cfg = InpaintConfig {
+            iterations: 150,
+            warm: Some(warm_params),
+            ..tiny_cfg(InpaintMethod::DeepPrior)
+        };
+        let mut slot = WarmSlot::default();
+        let (_, ev) = inpaint_magnitude_warm(&mag, bins, frames, &mask, &cfg, &mut slot).unwrap();
+        assert_eq!(ev, WarmEvent::Cold);
+
+        // "Next chunk": slightly attenuated image, same geometry.
+        let next: Vec<f64> = mag.iter().map(|&v| v * 0.97).collect();
+        let (out, ev) =
+            inpaint_magnitude_warm(&next, bins, frames, &mask, &cfg, &mut slot).unwrap();
+        assert_eq!(ev, WarmEvent::Warm);
+        let rep = out.report.unwrap();
+        assert!(rep.iterations <= warm_params.max_iterations);
+    }
+
+    #[test]
+    fn geometry_change_falls_back_to_cold() {
+        let (mag, bins, frames, mask) = ridge_case();
+        let cfg = InpaintConfig {
+            iterations: 20,
+            warm: Some(WarmFitParams::default()),
+            ..tiny_cfg(InpaintMethod::DeepPrior)
+        };
+        let mut slot = WarmSlot::default();
+        let (_, ev) = inpaint_magnitude_warm(&mag, bins, frames, &mask, &cfg, &mut slot).unwrap();
+        assert_eq!(ev, WarmEvent::Cold);
+
+        // One frame fewer still pads to the same extent: the resident
+        // net is structurally valid and the fit stays warm.
+        let near_mag = &mag[..bins * (frames - 1)];
+        let near_mask: Vec<f32> = mask[..bins * (frames - 1)].to_vec();
+        let (_, ev) =
+            inpaint_magnitude_warm(near_mag, bins, frames - 1, &near_mask, &cfg, &mut slot)
+                .unwrap();
+        assert_eq!(ev, WarmEvent::Warm);
+
+        // Shrinking past a padding boundary stays warm too: the pad-slack
+        // scan widens the fit back to the resident net's extent (the
+        // extra columns are invisible to the loss).
+        let short_mag = &mag[..bins * (frames - 4)];
+        let short_mask: Vec<f32> = mask[..bins * (frames - 4)].to_vec();
+        let (_, ev) =
+            inpaint_magnitude_warm(short_mag, bins, frames - 4, &short_mask, &cfg, &mut slot)
+                .unwrap();
+        assert_eq!(ev, WarmEvent::Warm);
+
+        // A chunk that outgrows the resident net cannot fit it → cold.
+        let long_frames = frames + WARM_PAD_SLACK_FRAMES + 2;
+        let long_mag = vec![0.2f64; bins * long_frames];
+        let long_mask = vec![1.0f32; bins * long_frames];
+        let (_, ev) =
+            inpaint_magnitude_warm(&long_mag, bins, long_frames, &long_mask, &cfg, &mut slot)
+                .unwrap();
+        assert_eq!(ev, WarmEvent::Cold);
+    }
+
+    #[test]
+    fn seeded_snapshot_is_adopted_as_warm() {
+        let (mag, bins, frames, mask) = ridge_case();
+        let cfg = InpaintConfig {
+            iterations: 60,
+            warm: Some(WarmFitParams::default()),
+            ..tiny_cfg(InpaintMethod::DeepPrior)
+        };
+        let mut donor = WarmSlot::default();
+        let (_, ev) = inpaint_magnitude_warm(&mag, bins, frames, &mask, &cfg, &mut donor).unwrap();
+        assert_eq!(ev, WarmEvent::Cold);
+        let state = donor.capture().unwrap();
+
+        // A fresh slot seeded with the snapshot warms on first use — the
+        // serving runtime's cross-session hand-off.
+        let mut fresh = WarmSlot::default();
+        fresh.seed(state);
+        let (_, ev) = inpaint_magnitude_warm(&mag, bins, frames, &mask, &cfg, &mut fresh).unwrap();
+        assert_eq!(ev, WarmEvent::Warm);
+
+        // A slightly shorter chunk re-pads onto the snapshot's extent and
+        // still warms (the pad-slack scan also matches seeded snapshots)…
+        let mut near = WarmSlot::default();
+        near.seed(donor.capture().unwrap());
+        let short_mag = &mag[..bins * (frames - 4)];
+        let short_mask: Vec<f32> = mask[..bins * (frames - 4)].to_vec();
+        let (_, ev) =
+            inpaint_magnitude_warm(short_mag, bins, frames - 4, &short_mask, &cfg, &mut near)
+                .unwrap();
+        assert_eq!(ev, WarmEvent::Warm);
+
+        // …but a chunk the snapshot's net cannot hold is discarded and
+        // the fit goes cold.
+        let mut wrong = WarmSlot::default();
+        wrong.seed(donor.capture().unwrap());
+        let long_frames = frames + WARM_PAD_SLACK_FRAMES + 2;
+        let long_mag = vec![0.2f64; bins * long_frames];
+        let long_mask = vec![1.0f32; bins * long_frames];
+        let (_, ev) =
+            inpaint_magnitude_warm(&long_mag, bins, long_frames, &long_mask, &cfg, &mut wrong)
+                .unwrap();
+        assert_eq!(ev, WarmEvent::Cold);
     }
 }

@@ -58,7 +58,7 @@ pub mod phase;
 pub mod pipeline;
 
 pub use align::{PatternAligner, UnwarpedSignal};
-pub use inpaint::{InpaintConfig, InpaintMethod};
+pub use inpaint::{InpaintConfig, InpaintMethod, WarmEvent, WarmSlot};
 pub use mask::HarmonicMask;
 pub use pipeline::{
     separate, validate_tracks, DhfConfig, RoundContext, RoundReport, SeparationOrder,

@@ -1,13 +1,13 @@
 //! The multi-round DHF separation pipeline (paper Fig. 1).
 
 use crate::align::{PatternAligner, UnwarpedSignal};
-use crate::inpaint::{inpaint_magnitude, InpaintConfig, InpaintMethod};
+use crate::inpaint::{inpaint_magnitude_warm, InpaintConfig, InpaintMethod, WarmEvent, WarmSlot};
 use crate::mask::{target_comb_gain, HarmonicMask};
 use crate::phase::{interpolate_masked_phase_into, reconstruct_hidden_cells};
 use crate::DhfError;
 use dhf_dsp::stft::{Spectrogram, StftConfig, StftEngine};
 use dhf_dsp::Complex;
-use dhf_nn::{ConvKind, NetConfig, TrainReport};
+use dhf_nn::{ConvKind, NetConfig, TrainReport, WeightState};
 
 /// Order in which sources are peeled off the mix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -106,7 +106,7 @@ impl DhfConfig {
             window: 64,
             hop: 16,
             inpaint: InpaintConfig {
-                iterations: 120,
+                iterations: dhf_nn::FitParams::FAST.iterations,
                 net: NetConfig {
                     base_channels: 4,
                     depth: 1,
@@ -140,6 +140,10 @@ pub struct RoundReport {
     pub dilation: usize,
     /// Deep-prior training summary (None for harmonic interpolation).
     pub train: Option<TrainReport>,
+    /// Whether the deep-prior fit was warm-started (`Some(true)`), fit
+    /// cold (`Some(false)`), or never ran (`None` — harmonic
+    /// interpolation or an all-zero image).
+    pub warm_started: Option<bool>,
     /// Unwarped spectrogram extents.
     pub bins: usize,
     /// Unwarped spectrogram frames.
@@ -259,6 +263,14 @@ pub struct RoundContext {
     /// Whether [`RoundReport`]s carry their heavy diagnostic payloads
     /// (hidden-cell flags, residual magnitude image).
     collect_reports: bool,
+    /// Warm-start slots, one per source index: each holds the deep prior
+    /// trained by that source's previous round so the next round can
+    /// fine-tune instead of refitting ([`InpaintConfig::warm`]).
+    warm_slots: Vec<WarmSlot>,
+    /// Deep-prior fits resumed from a resident or seeded weight state.
+    warm_hits: u64,
+    /// Deep-prior fits trained from scratch.
+    cold_fits: u64,
 }
 
 // A session's context (with its cached FFT plans and reused buffers)
@@ -287,6 +299,9 @@ impl RoundContext {
             icfg: cfg.inpaint.clone(),
             band_half: Vec::new(),
             collect_reports: true,
+            warm_slots: Vec::new(),
+            warm_hits: 0,
+            cold_fits: 0,
         }
     }
 
@@ -311,6 +326,55 @@ impl RoundContext {
     /// plan-cache reuse invariant the throughput bench checks).
     pub fn fft_plans_built(&self) -> usize {
         self.engine.planner().plans_built()
+    }
+
+    /// Deep-prior fits resumed from a resident or seeded weight state
+    /// (monotone over the context's lifetime).
+    pub fn warm_hits(&self) -> u64 {
+        self.warm_hits
+    }
+
+    /// Deep-prior fits trained from scratch (monotone over the context's
+    /// lifetime).
+    pub fn cold_fits(&self) -> u64 {
+        self.cold_fits
+    }
+
+    /// Number of sources with a trained deep prior currently resident.
+    pub fn warm_resident(&self) -> usize {
+        self.warm_slots.iter().filter(|s| s.is_warm()).count()
+    }
+
+    /// Drops every resident deep prior and pending snapshot. The next
+    /// round per source fits cold — callers use this to make a reused
+    /// context behave like a fresh one (the streaming engine's `reset`).
+    pub fn clear_warm_state(&mut self) {
+        for slot in &mut self.warm_slots {
+            slot.clear();
+        }
+    }
+
+    /// Snapshots every resident deep prior as `(source index, weights)`
+    /// pairs — the serving runtime banks these per-config when a session
+    /// closes.
+    pub fn export_warm_state(&self) -> Vec<(usize, WeightState)> {
+        self.warm_slots
+            .iter()
+            .enumerate()
+            .filter_map(|(si, slot)| slot.capture().map(|w| (si, w)))
+            .collect()
+    }
+
+    /// Stages captured weight states for adoption: source `si`'s next
+    /// compatible deep-prior round resumes from its snapshot instead of
+    /// fitting cold. Incompatible snapshots are discarded at fit time.
+    pub fn import_warm_state(&mut self, states: Vec<(usize, WeightState)>) {
+        for (si, state) in states {
+            while self.warm_slots.len() <= si {
+                self.warm_slots.push(WarmSlot::default());
+            }
+            self.warm_slots[si].seed(state);
+        }
     }
 
     /// Full multi-round separation, reusing this context's buffers.
@@ -529,10 +593,28 @@ impl RoundContext {
 
         self.mask.write_f32_into(&mut self.mask_f32);
         // The per-round deep-prior fit — the dominant full-config cost
-        // (ROADMAP item 4). A failed fit still records its time.
+        // (ROADMAP item 4). A failed fit still records its time. The
+        // warm slot is keyed by source index: round order may change
+        // between separations, but source `si`'s prior always resumes
+        // source `si`'s weights.
+        while self.warm_slots.len() <= si {
+            self.warm_slots.push(WarmSlot::default());
+        }
         let fit_span = dhf_obs::span(dhf_obs::Stage::NnFit);
-        let outcome = inpaint_magnitude(&self.magnitude, bins, frames, &self.mask_f32, &self.icfg)?;
+        let (outcome, warm_event) = inpaint_magnitude_warm(
+            &self.magnitude,
+            bins,
+            frames,
+            &self.mask_f32,
+            &self.icfg,
+            &mut self.warm_slots[si],
+        )?;
         drop(fit_span);
+        match warm_event {
+            WarmEvent::Warm => self.warm_hits += 1,
+            WarmEvent::Cold => self.cold_fits += 1,
+            WarmEvent::Bypass => {}
+        }
 
         // Cyclic phase interpolation across the concealed cells (§3.4),
         // then rebuild the workspace planes in place. When the in-paint
@@ -581,6 +663,11 @@ impl RoundContext {
             hidden_fraction,
             dilation,
             train: outcome.report,
+            warm_started: match warm_event {
+                WarmEvent::Warm => Some(true),
+                WarmEvent::Cold => Some(false),
+                WarmEvent::Bypass => None,
+            },
             bins,
             frames,
             hidden: if self.collect_reports { self.mask.hidden_flags() } else { Vec::new() },

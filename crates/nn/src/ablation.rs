@@ -86,6 +86,7 @@ impl PriorVariant {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::FitParams;
     use crate::DeepPriorNet;
     use dhf_tensor::Tensor;
     use rand::rngs::StdRng;
@@ -101,7 +102,7 @@ mod tests {
             let cfg = v.configure(&base());
             let mut rng = StdRng::seed_from_u64(0);
             // 16 bins, 8 frames: divisible for both pooling schedules.
-            let net = DeepPriorNet::new(&cfg, 16, 8, &mut rng);
+            let net = DeepPriorNet::<f32>::new(&cfg, 16, 8, &mut rng);
             assert!(net.is_ok(), "{} failed to build", v.label());
         }
     }
@@ -135,8 +136,9 @@ mod tests {
         for v in PriorVariant::all(3) {
             let cfg = v.configure(&base());
             let mut rng = StdRng::seed_from_u64(7);
-            let mut net = DeepPriorNet::new(&cfg, 16, 8, &mut rng).unwrap();
-            let rep = net.fit(&t, &mask, 30, 0.02);
+            let mut net: DeepPriorNet = DeepPriorNet::new(&cfg, 16, 8, &mut rng).unwrap();
+            let fit = FitParams::ABLATION_SMOKE;
+            let rep = net.fit(&t, &mask, fit.iterations, fit.lr);
             assert!(rep.final_loss < rep.initial_loss, "{} did not reduce loss", v.label());
         }
     }

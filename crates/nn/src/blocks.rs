@@ -1,6 +1,6 @@
 //! Reusable graph-building blocks: convolution + instance norm + activation.
 
-use dhf_tensor::{init, Graph, Tensor, VarId};
+use dhf_tensor::{init, Graph, Scalar, Tensor, VarId};
 use rand::Rng;
 
 /// Convolution flavour used inside the U-Net.
@@ -40,9 +40,9 @@ impl ConvKind {
     }
 
     /// Appends the convolution node for input `x` with a fresh weight.
-    pub fn build<R: Rng>(
+    pub fn build<S: Scalar, R: Rng>(
         &self,
-        g: &mut Graph,
+        g: &mut Graph<S>,
         x: VarId,
         in_ch: usize,
         out_ch: usize,
@@ -58,8 +58,8 @@ impl ConvKind {
 
 /// Appends `conv → bias → instance-norm → leaky-ReLU` and returns the
 /// activated output.
-pub fn conv_block<R: Rng>(
-    g: &mut Graph,
+pub fn conv_block<S: Scalar, R: Rng>(
+    g: &mut Graph<S>,
     x: VarId,
     in_ch: usize,
     out_ch: usize,
@@ -83,8 +83,8 @@ pub fn conv_block<R: Rng>(
 /// negative value (e.g. −3) starts the image near the background level so
 /// the untrained prior does not flood hidden cells with mid-gray energy —
 /// essential when the optimizer budget is small.
-pub fn project_out<R: Rng>(
-    g: &mut Graph,
+pub fn project_out<S: Scalar, R: Rng>(
+    g: &mut Graph<S>,
     x: VarId,
     in_ch: usize,
     out_ch: usize,
@@ -93,7 +93,7 @@ pub fn project_out<R: Rng>(
 ) -> VarId {
     let w = g.param(init::kaiming_uniform(&[out_ch, in_ch, 1, 1], rng));
     let conv = g.conv2d(x, w, 1, 1);
-    let bias = g.param(Tensor::filled(&[out_ch], bias_init));
+    let bias = g.param(Tensor::filled(&[out_ch], S::from_f32(bias_init)));
     g.add_bias(conv, bias)
 }
 
@@ -113,7 +113,7 @@ mod tests {
 
     #[test]
     fn conv_block_produces_expected_shape() {
-        let mut g = Graph::new();
+        let mut g: Graph = Graph::new();
         let mut rng = StdRng::seed_from_u64(0);
         let x = g.input(Tensor::rand_normal(&[2, 8, 6], 1.0, &mut rng));
         let kind = ConvKind::Harmonic { harmonics: 3, kt: 3, anchor: 1, dil_t: 1 };
@@ -125,7 +125,7 @@ mod tests {
 
     #[test]
     fn project_out_collapses_channels() {
-        let mut g = Graph::new();
+        let mut g: Graph = Graph::new();
         let mut rng = StdRng::seed_from_u64(1);
         let x = g.input(Tensor::rand_normal(&[6, 4, 4], 1.0, &mut rng));
         let y = project_out(&mut g, x, 6, 1, 0.0, &mut rng);

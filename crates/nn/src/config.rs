@@ -1,6 +1,57 @@
-//! Network hyper-parameters.
+//! Network hyper-parameters and shared optimizer budgets.
 
 use crate::blocks::ConvKind;
+
+/// Optimizer budget of a from-scratch deep-prior fit: how many Adam steps
+/// at which learning rate.
+///
+/// The tuned budgets live here as named constants so every consumer — the
+/// in-painter, the ablation harness, benchmarks — reads the same source of
+/// truth instead of scattering magic `(iterations, lr)` pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitParams {
+    /// Adam steps.
+    pub iterations: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+}
+
+impl FitParams {
+    /// Paper-faithful full-quality budget (§4.1: 300 iterations).
+    pub const FULL: FitParams = FitParams { iterations: 300, lr: 0.01 };
+    /// Reduced budget used by the streaming `fast()` preset.
+    pub const FAST: FitParams = FitParams { iterations: 120, lr: 0.01 };
+    /// Smoke-test budget for the Figure-3 ablation variants: just enough
+    /// steps to separate the architectures on a synthetic ridge.
+    pub const ABLATION_SMOKE: FitParams = FitParams { iterations: 30, lr: 0.02 };
+}
+
+/// Budget and stopping rule of a *warm* fine-tune: a bounded number of
+/// Adam steps resumed from an already-trained weight state, with
+/// loss-plateau early stopping.
+///
+/// Warm fits exploit the temporal coherence of adjacent streaming chunks —
+/// the previous chunk's converged prior is a few dozen steps away from the
+/// next chunk's optimum, not a few hundred.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarmFitParams {
+    /// Hard cap on Adam steps for one warm fine-tune.
+    pub max_iterations: usize,
+    /// Adam learning rate (a fresh optimizer is used per fine-tune).
+    pub lr: f32,
+    /// Stop after this many consecutive steps without meaningful
+    /// improvement over the best loss seen in this fine-tune.
+    pub patience: usize,
+    /// Relative improvement threshold: a step "improves" when the loss
+    /// drops below `best * (1 - min_rel_improvement)`.
+    pub min_rel_improvement: f32,
+}
+
+impl Default for WarmFitParams {
+    fn default() -> Self {
+        WarmFitParams { max_iterations: 40, lr: 0.01, patience: 6, min_rel_improvement: 1e-3 }
+    }
+}
 
 /// Activation applied to the network's single output channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -88,6 +139,53 @@ impl NetConfig {
             Some(f) => f.pow(self.depth as u32),
             None => 1,
         }
+    }
+
+    /// FNV-1a fingerprint of the architecture this configuration builds
+    /// for a `bins × frames` image — the compatibility key guarding
+    /// [`WeightState`](crate::WeightState) restores.
+    ///
+    /// `z_std` and `output_bias` are deliberately excluded: the noise code
+    /// is restored with the snapshot, and the output bias is itself a
+    /// trainable parameter — neither changes the *structure* a snapshot
+    /// must match. The in-painter re-derives `output_bias` per round, so
+    /// including it would spuriously invalidate every warm restore.
+    pub fn architecture_fingerprint(&self, bins: usize, frames: usize) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(bins as u64);
+        eat(frames as u64);
+        eat(self.in_channels as u64);
+        eat(self.base_channels as u64);
+        eat(self.depth as u64);
+        match self.conv {
+            ConvKind::Standard { kf, kt, dil_f, dil_t } => {
+                eat(1);
+                eat(kf as u64);
+                eat(kt as u64);
+                eat(dil_f as u64);
+                eat(dil_t as u64);
+            }
+            ConvKind::Harmonic { harmonics, kt, anchor, dil_t } => {
+                eat(2);
+                eat(harmonics as u64);
+                eat(kt as u64);
+                eat(anchor as u64);
+                eat(dil_t as u64);
+            }
+        }
+        eat(self.freq_pool.map_or(0, |f| f as u64 + 1));
+        eat(match self.output {
+            OutputActivation::Sigmoid => 1,
+            OutputActivation::LeakyRelu => 2,
+            OutputActivation::Linear => 3,
+        });
+        eat(u64::from(self.relu_slope.to_bits()));
+        h
     }
 }
 

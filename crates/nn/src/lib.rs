@@ -41,8 +41,8 @@ mod config;
 mod net;
 
 pub use blocks::ConvKind;
-pub use config::{NetConfig, OutputActivation};
-pub use net::{DeepPriorNet, TrainReport};
+pub use config::{FitParams, NetConfig, OutputActivation, WarmFitParams};
+pub use net::{DeepPriorNet, TrainReport, WeightState};
 
 /// Errors from network construction.
 #[derive(Debug, Clone, PartialEq, Eq)]

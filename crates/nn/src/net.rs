@@ -2,20 +2,107 @@
 //! spectrogram (paper §3.2–3.3).
 
 use crate::blocks::{conv_block, project_out};
-use crate::config::{NetConfig, OutputActivation};
+use crate::config::{NetConfig, OutputActivation, WarmFitParams};
 use crate::NnError;
-use dhf_tensor::{init, optim::Adam, Graph, Tensor, VarId};
+use dhf_tensor::{init, optim::Adam, Graph, Scalar, Tensor, VarId};
 use rand::Rng;
 
-/// Summary of one [`DeepPriorNet::fit`] run.
+/// Summary of one [`DeepPriorNet::fit`] or [`DeepPriorNet::fit_warm`] run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainReport {
     /// Masked-MSE loss before the first update.
     pub initial_loss: f32,
     /// Masked-MSE loss after the last update.
     pub final_loss: f32,
-    /// Number of optimizer steps taken.
+    /// Number of optimizer steps actually taken (for warm fits this can be
+    /// below the configured cap when the loss plateaus early).
     pub iterations: usize,
+}
+
+/// A portable snapshot of a trained prior: every trainable parameter plus
+/// the fixed noise code `z`, in graph order.
+///
+/// The noise code travels with the weights on purpose — a deep prior's
+/// weights are tuned to *its* `z`; restoring one without the other lands
+/// far from the captured optimum. Snapshots are stored at `f32` (the
+/// serving precision) regardless of the precision they were captured from.
+///
+/// A `fingerprint` of the architecture (extents, channel plan, convolution
+/// flavour) guards restores: [`DeepPriorNet::restore_weights`] refuses a
+/// state captured from a structurally different network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightState {
+    fingerprint: u64,
+    tensors: Vec<Tensor<f32>>,
+}
+
+impl WeightState {
+    /// Architecture fingerprint this state was captured from.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Total number of scalars in the snapshot (parameters + noise code).
+    pub fn numel(&self) -> usize {
+        self.tensors.iter().map(Tensor::numel).sum()
+    }
+
+    /// Serializes to a little-endian byte stream.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload: usize =
+            self.tensors.iter().map(|t| 4 + 4 * t.shape().len() + 4 * t.numel()).sum();
+        let mut out = Vec::with_capacity(12 + payload);
+        out.extend_from_slice(&self.fingerprint.to_le_bytes());
+        out.extend_from_slice(&(self.tensors.len() as u32).to_le_bytes());
+        for t in &self.tensors {
+            out.extend_from_slice(&(t.shape().len() as u32).to_le_bytes());
+            for &d in t.shape() {
+                out.extend_from_slice(&(d as u32).to_le_bytes());
+            }
+            for &v in t.data() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserializes a stream produced by [`WeightState::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] when the stream is truncated or a
+    /// declared shape is inconsistent with the remaining payload.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, NnError> {
+        const TRUNCATED: NnError = NnError::BadConfig("weight state bytes truncated");
+        let mut pos = 0usize;
+        let mut take = |n: usize| -> Result<&[u8], NnError> {
+            let end = pos.checked_add(n).ok_or(TRUNCATED)?;
+            let slice = bytes.get(pos..end).ok_or(TRUNCATED)?;
+            pos = end;
+            Ok(slice)
+        };
+        let fingerprint = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        let count = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+        let mut tensors = Vec::with_capacity(count);
+        for _ in 0..count {
+            let rank = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+            if rank > 8 {
+                return Err(NnError::BadConfig("weight state tensor rank out of range"));
+            }
+            let mut shape = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                shape.push(u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize);
+            }
+            let numel: usize = shape.iter().product();
+            let raw = take(4 * numel)?;
+            let data = raw.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap()));
+            tensors.push(Tensor::from_vec(&shape, data.collect()));
+        }
+        if pos != bytes.len() {
+            return Err(NnError::BadConfig("weight state bytes have trailing garbage"));
+        }
+        Ok(WeightState { fingerprint, tensors })
+    }
 }
 
 /// A U-Net deep prior over a single `[1, F, T]` magnitude image.
@@ -25,17 +112,24 @@ pub struct TrainReport {
 /// bottleneck block, and decoder levels of nearest upsampling, skip
 /// concatenation, and one convolution block. Frequency pooling is attached
 /// only when [`NetConfig::freq_pool`] is set (Zhang-baseline ablation).
-pub struct DeepPriorNet {
-    graph: Graph,
+///
+/// The working precision is generic (default `f32`, the production path;
+/// `f64` is the accuracy reference). Weight snapshots move through
+/// [`WeightState`], enabling warm-started fine-tunes across streaming
+/// chunks via [`DeepPriorNet::fit_warm`].
+pub struct DeepPriorNet<S: Scalar = f32> {
+    graph: Graph<S>,
     output: VarId,
     target: VarId,
     mask: VarId,
     loss: VarId,
+    z: VarId,
     bins: usize,
     frames: usize,
+    fingerprint: u64,
 }
 
-impl std::fmt::Debug for DeepPriorNet {
+impl<S: Scalar> std::fmt::Debug for DeepPriorNet<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DeepPriorNet")
             .field("bins", &self.bins)
@@ -45,7 +139,7 @@ impl std::fmt::Debug for DeepPriorNet {
     }
 }
 
-impl DeepPriorNet {
+impl<S: Scalar> DeepPriorNet<S> {
     /// Builds the network for a `bins × frames` spectrogram.
     ///
     /// # Errors
@@ -71,7 +165,7 @@ impl DeepPriorNet {
             return Err(NnError::BadExtent { axis: "freq", extent: bins, divisor: fd });
         }
 
-        let mut g = Graph::new();
+        let mut g: Graph<S> = Graph::new();
         let z = g.input(init::noise_input(&[cfg.in_channels, bins, frames], cfg.z_std, rng));
 
         let mut x = z;
@@ -123,7 +217,8 @@ impl DeepPriorNet {
         let mask = g.input(Tensor::zeros(&[1, bins, frames]));
         let loss = g.mse_masked(output, target, mask);
 
-        Ok(DeepPriorNet { graph: g, output, target, mask, loss, bins, frames })
+        let fingerprint = cfg.architecture_fingerprint(bins, frames);
+        Ok(DeepPriorNet { graph: g, output, target, mask, loss, z, bins, frames, fingerprint })
     }
 
     /// Number of trainable scalars.
@@ -141,6 +236,11 @@ impl DeepPriorNet {
         self.frames
     }
 
+    /// Architecture fingerprint (see [`WeightState`]).
+    pub fn weight_fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
     /// Fits the prior to `target` under `mask` (1 = visible, 0 = hidden)
     /// with Adam for `iterations` steps.
     ///
@@ -152,8 +252,8 @@ impl DeepPriorNet {
     /// Panics if `target`/`mask` are not `[1, bins, frames]`.
     pub fn fit(
         &mut self,
-        target: &Tensor,
-        mask: &Tensor,
+        target: &Tensor<S>,
+        mask: &Tensor<S>,
         iterations: usize,
         lr: f32,
     ) -> TrainReport {
@@ -161,28 +261,120 @@ impl DeepPriorNet {
         assert_eq!(mask.shape(), &[1, self.bins, self.frames], "mask shape");
         self.graph.set_value(self.target, target.clone());
         self.graph.set_value(self.mask, mask.clone());
-        let mut adam = Adam::new(lr);
+        let mut adam: Adam<S> = Adam::new(lr);
         self.graph.forward();
-        let initial_loss = self.graph.value(self.loss).data()[0];
+        let initial_loss = self.graph.value(self.loss).data()[0].to_f32();
         for _ in 0..iterations {
             self.graph.forward();
             self.graph.backward(self.loss);
             adam.step(&mut self.graph);
         }
         self.graph.forward();
-        let final_loss = self.graph.value(self.loss).data()[0];
+        let final_loss = self.graph.value(self.loss).data()[0].to_f32();
         TrainReport { initial_loss, final_loss, iterations }
+    }
+
+    /// Fine-tunes the *current* weights toward a new target: at most
+    /// `params.max_iterations` Adam steps, stopping early once the loss
+    /// has failed to improve for `params.patience` consecutive steps.
+    ///
+    /// Unlike [`DeepPriorNet::fit`] this never re-initializes anything —
+    /// it is the warm-start half of the streaming in-painter, where the
+    /// previous chunk's converged prior is resumed on the next chunk's
+    /// spectrogram. Optimizer moments are intentionally fresh per call
+    /// (stale moments from a different target mislead more than they
+    /// help).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target`/`mask` are not `[1, bins, frames]`.
+    pub fn fit_warm(
+        &mut self,
+        target: &Tensor<S>,
+        mask: &Tensor<S>,
+        params: &WarmFitParams,
+    ) -> TrainReport {
+        assert_eq!(target.shape(), &[1, self.bins, self.frames], "target shape");
+        assert_eq!(mask.shape(), &[1, self.bins, self.frames], "mask shape");
+        self.graph.set_value(self.target, target.clone());
+        self.graph.set_value(self.mask, mask.clone());
+        let mut adam: Adam<S> = Adam::new(params.lr);
+        self.graph.forward();
+        let initial_loss = self.graph.value(self.loss).data()[0].to_f32();
+        let mut best = f32::INFINITY;
+        let mut stale = 0usize;
+        let mut steps = 0usize;
+        for _ in 0..params.max_iterations {
+            self.graph.forward();
+            let now = self.graph.value(self.loss).data()[0].to_f32();
+            if now < best * (1.0 - params.min_rel_improvement) {
+                best = now;
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale >= params.patience {
+                    break;
+                }
+            }
+            self.graph.backward(self.loss);
+            adam.step(&mut self.graph);
+            steps += 1;
+        }
+        self.graph.forward();
+        let final_loss = self.graph.value(self.loss).data()[0].to_f32();
+        TrainReport { initial_loss, final_loss, iterations: steps }
+    }
+
+    /// Snapshots the trainable parameters and the noise code `z`.
+    pub fn capture_weights(&self) -> WeightState {
+        let mut tensors: Vec<Tensor<f32>> =
+            self.graph.params().iter().map(|&p| self.graph.value(p).cast()).collect();
+        tensors.push(self.graph.value(self.z).cast());
+        WeightState { fingerprint: self.fingerprint, tensors }
+    }
+
+    /// Overwrites the trainable parameters and noise code from a snapshot,
+    /// then re-runs the forward pass so the output image is consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] when the snapshot's fingerprint or
+    /// any tensor shape disagrees with this network — the caller should
+    /// fall back to a cold [`DeepPriorNet::fit`].
+    pub fn restore_weights(&mut self, state: &WeightState) -> Result<(), NnError> {
+        if state.fingerprint != self.fingerprint {
+            return Err(NnError::BadConfig("weight state fingerprint mismatch"));
+        }
+        let ids: Vec<VarId> = self.graph.params().to_vec();
+        if state.tensors.len() != ids.len() + 1 {
+            return Err(NnError::BadConfig("weight state tensor count mismatch"));
+        }
+        for (&id, t) in ids.iter().zip(&state.tensors) {
+            if self.graph.value(id).shape() != t.shape() {
+                return Err(NnError::BadConfig("weight state tensor shape mismatch"));
+            }
+        }
+        let z_state = state.tensors.last().expect("checked non-empty");
+        if self.graph.value(self.z).shape() != z_state.shape() {
+            return Err(NnError::BadConfig("weight state noise-code shape mismatch"));
+        }
+        for (&id, t) in ids.iter().zip(&state.tensors) {
+            self.graph.set_value(id, t.cast());
+        }
+        self.graph.set_value(self.z, z_state.cast());
+        self.graph.forward();
+        Ok(())
     }
 
     /// The network's current output image `[1, bins, frames]`
     /// (call after [`DeepPriorNet::fit`]).
-    pub fn output_image(&self) -> Tensor {
+    pub fn output_image(&self) -> Tensor<S> {
         self.graph.value(self.output).clone()
     }
 
     /// Current masked-MSE loss value.
     pub fn loss_value(&self) -> f32 {
-        self.graph.value(self.loss).data()[0]
+        self.graph.value(self.loss).data()[0].to_f32()
     }
 }
 
@@ -208,22 +400,22 @@ mod tests {
         let cfg = NetConfig { depth: 2, ..tiny_cfg() };
         // frames=10 not divisible by 4.
         assert!(matches!(
-            DeepPriorNet::new(&cfg, 16, 10, &mut rng),
+            DeepPriorNet::<f32>::new(&cfg, 16, 10, &mut rng),
             Err(NnError::BadExtent { axis: "time", .. })
         ));
         // freq pooling requires divisible bins.
         let cfg = NetConfig { depth: 2, freq_pool: Some(2), ..tiny_cfg() };
         assert!(matches!(
-            DeepPriorNet::new(&cfg, 18, 16, &mut rng),
+            DeepPriorNet::<f32>::new(&cfg, 18, 16, &mut rng),
             Err(NnError::BadExtent { axis: "freq", .. })
         ));
-        assert!(DeepPriorNet::new(&cfg, 16, 16, &mut rng).is_ok());
+        assert!(DeepPriorNet::<f32>::new(&cfg, 16, 16, &mut rng).is_ok());
     }
 
     #[test]
     fn output_has_input_shape_and_sigmoid_range() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut net = DeepPriorNet::new(&tiny_cfg(), 12, 8, &mut rng).unwrap();
+        let mut net: DeepPriorNet = DeepPriorNet::new(&tiny_cfg(), 12, 8, &mut rng).unwrap();
         let target = Tensor::filled(&[1, 12, 8], 0.3);
         let mask = Tensor::filled(&[1, 12, 8], 1.0);
         net.fit(&target, &mask, 1, 0.01);
@@ -235,7 +427,7 @@ mod tests {
     #[test]
     fn fit_reduces_loss() {
         let mut rng = StdRng::seed_from_u64(2);
-        let mut net = DeepPriorNet::new(&tiny_cfg(), 16, 8, &mut rng).unwrap();
+        let mut net: DeepPriorNet = DeepPriorNet::new(&tiny_cfg(), 16, 8, &mut rng).unwrap();
         // Target: two bright harmonic rows.
         let mut t = Tensor::filled(&[1, 16, 8], 0.05);
         for fr in 0..8 {
@@ -261,7 +453,7 @@ mod tests {
             depth: 1,
             ..NetConfig::default()
         };
-        let mut net = DeepPriorNet::new(&cfg, 16, 12, &mut rng).unwrap();
+        let mut net: DeepPriorNet = DeepPriorNet::new(&cfg, 16, 12, &mut rng).unwrap();
         // A constant harmonic row at bin 4, hidden in frames 5..7.
         let mut t = Tensor::filled(&[1, 16, 12], 0.1);
         for fr in 0..12 {
@@ -286,11 +478,114 @@ mod tests {
     #[test]
     fn param_count_is_positive_and_stable() {
         let mut rng = StdRng::seed_from_u64(4);
-        let net = DeepPriorNet::new(&tiny_cfg(), 16, 8, &mut rng).unwrap();
+        let net: DeepPriorNet = DeepPriorNet::new(&tiny_cfg(), 16, 8, &mut rng).unwrap();
         let n1 = net.param_count();
         assert!(n1 > 0);
         let mut rng = StdRng::seed_from_u64(99);
-        let net2 = DeepPriorNet::new(&tiny_cfg(), 16, 8, &mut rng).unwrap();
+        let net2: DeepPriorNet = DeepPriorNet::new(&tiny_cfg(), 16, 8, &mut rng).unwrap();
         assert_eq!(n1, net2.param_count(), "param count must not depend on rng");
+    }
+
+    #[test]
+    fn restored_net_reproduces_output_bitwise() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut a: DeepPriorNet = DeepPriorNet::new(&tiny_cfg(), 16, 8, &mut rng).unwrap();
+        let t = Tensor::filled(&[1, 16, 8], 0.4);
+        let mask = Tensor::filled(&[1, 16, 8], 1.0);
+        a.fit(&t, &mask, 25, 0.02);
+        let state = a.capture_weights();
+
+        // A net from an unrelated seed adopts the snapshot wholesale
+        // (weights *and* noise code), so its output matches bit for bit.
+        let mut rng = StdRng::seed_from_u64(12345);
+        let mut b: DeepPriorNet = DeepPriorNet::new(&tiny_cfg(), 16, 8, &mut rng).unwrap();
+        assert_eq!(a.weight_fingerprint(), b.weight_fingerprint());
+        b.restore_weights(&state).unwrap();
+        assert_eq!(a.output_image().data(), b.output_image().data());
+    }
+
+    #[test]
+    fn weight_state_round_trips_through_bytes() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut net: DeepPriorNet = DeepPriorNet::new(&tiny_cfg(), 16, 8, &mut rng).unwrap();
+        let t = Tensor::filled(&[1, 16, 8], 0.2);
+        let mask = Tensor::filled(&[1, 16, 8], 1.0);
+        net.fit(&t, &mask, 5, 0.02);
+        let state = net.capture_weights();
+        let decoded = WeightState::from_bytes(&state.to_bytes()).unwrap();
+        assert_eq!(state, decoded);
+        assert!(state.numel() > net.param_count(), "snapshot must include z");
+
+        // Truncation is rejected, not misparsed.
+        let bytes = state.to_bytes();
+        assert!(WeightState::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(WeightState::from_bytes(&bytes[..7]).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_architecture_mismatch() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let donor: DeepPriorNet = DeepPriorNet::new(&tiny_cfg(), 16, 8, &mut rng).unwrap();
+        let state = donor.capture_weights();
+        // Different frame count → different fingerprint.
+        let mut other: DeepPriorNet = DeepPriorNet::new(&tiny_cfg(), 16, 16, &mut rng).unwrap();
+        assert!(other.restore_weights(&state).is_err());
+        // Different dilation → same shapes, still refused.
+        let cfg = NetConfig {
+            conv: ConvKind::Harmonic { harmonics: 3, kt: 3, anchor: 1, dil_t: 2 },
+            ..tiny_cfg()
+        };
+        let mut other: DeepPriorNet = DeepPriorNet::new(&cfg, 16, 8, &mut rng).unwrap();
+        assert!(other.restore_weights(&state).is_err());
+    }
+
+    #[test]
+    fn warm_fit_resumes_near_the_captured_optimum() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut net: DeepPriorNet = DeepPriorNet::new(&tiny_cfg(), 16, 8, &mut rng).unwrap();
+        let mut t = Tensor::filled(&[1, 16, 8], 0.05);
+        for fr in 0..8 {
+            t.data_mut()[3 * 8 + fr] = 0.9;
+        }
+        let mask = Tensor::filled(&[1, 16, 8], 1.0);
+        let cold = net.fit(&t, &mask, 120, 0.02);
+
+        // A slightly shifted target (next "chunk"): the warm fine-tune
+        // starts from the converged loss, far below a cold start.
+        let next = t.map(|v| (v * 0.95).min(1.0));
+        let warm = net.fit_warm(&next, &mask, &WarmFitParams::default());
+        assert!(
+            warm.initial_loss < cold.initial_loss * 0.5,
+            "warm start {} should sit well below cold start {}",
+            warm.initial_loss,
+            cold.initial_loss
+        );
+        assert!(warm.iterations <= WarmFitParams::default().max_iterations);
+        // Fresh Adam moments can overshoot for a step or two, but the
+        // fine-tune must end far below where a cold start begins.
+        assert!(
+            warm.final_loss < cold.initial_loss * 0.5,
+            "warm final {} vs cold start {}",
+            warm.final_loss,
+            cold.initial_loss
+        );
+    }
+
+    #[test]
+    fn warm_fit_early_stops_on_plateau() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut net: DeepPriorNet = DeepPriorNet::new(&tiny_cfg(), 16, 8, &mut rng).unwrap();
+        let t = Tensor::filled(&[1, 16, 8], 0.3);
+        let mask = Tensor::filled(&[1, 16, 8], 1.0);
+        net.fit(&t, &mask, 200, 0.02);
+        // Refit on the *same* target: already converged, so the plateau
+        // rule must fire long before the cap.
+        let params = WarmFitParams { max_iterations: 400, ..WarmFitParams::default() };
+        let warm = net.fit_warm(&t, &mask, &params);
+        assert!(
+            warm.iterations < params.max_iterations,
+            "expected early stop, ran all {} steps",
+            warm.iterations
+        );
     }
 }

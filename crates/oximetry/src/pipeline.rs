@@ -495,6 +495,24 @@ impl StreamingOximeter {
         self.seps.iter().map(StreamingSeparator::fft_plans_built).sum()
     }
 
+    /// Deep-prior fits resumed warm across both wavelength separators
+    /// (zero unless the streaming configuration enables warm starting).
+    pub fn warm_hits(&self) -> u64 {
+        self.seps.iter().map(StreamingSeparator::warm_hits).sum()
+    }
+
+    /// Deep-prior fits trained from scratch across both wavelength
+    /// separators.
+    pub fn cold_fits(&self) -> u64 {
+        self.seps.iter().map(StreamingSeparator::cold_fits).sum()
+    }
+
+    /// Sources currently holding resident warm nets, summed over both
+    /// wavelength separators.
+    pub fn warm_resident(&self) -> usize {
+        self.seps.iter().map(StreamingSeparator::warm_resident).sum()
+    }
+
     /// Worst-case samples between ingesting a sample and the SpO2 window
     /// containing it being emitted: one analysis chunk (separation
     /// latency) plus one trend window minus one hop (window-closing
@@ -836,6 +854,10 @@ mod tests {
         assert_eq!(got.len(), expected);
         assert_eq!(ox.windows_emitted(), expected as u64);
         assert!(got.iter().all(|s| s.spo2.is_finite() && s.ratio.is_finite()));
+        // The harmonic-interp bypass never touches the deep prior, so the
+        // warm/cold fit books stay empty.
+        assert_eq!(ox.warm_hits() + ox.cold_fits(), 0);
+        assert_eq!(ox.warm_resident(), 0);
     }
 
     #[test]

@@ -992,6 +992,55 @@ mod tests {
         assert_eq!(manager.telemetry().plans_built(), plans_total as u64);
     }
 
+    #[test]
+    fn warm_pool_seeds_successor_sessions() {
+        let fs = 100.0;
+        let n = 3000; // exactly one analysis chunk
+        let (mix, tracks) = make_mix(fs, n, 2);
+        // Deep-prior path with warm starting; one source keeps the
+        // debug-build fit budget small, and zero overlap makes the push
+        // exactly one fit (no shrunken flush chunk muddying the counts).
+        let scfg = StreamingConfig::new(3000, 0, DhfConfig::fast()).unwrap().with_warm_start();
+        let tracks1 = [tracks[0].clone()];
+        let t: Vec<&[f64]> = tracks1.iter().map(Vec::as_slice).collect();
+        let manager = SessionManager::new(ServeConfig::new(1).unwrap());
+
+        let id = manager.open(fs, 1, scfg.clone()).unwrap();
+        manager.push(id, &mix, &t).unwrap();
+        manager.close(id).unwrap();
+        let tele = manager.telemetry();
+        assert_eq!(tele.cold_fits(), 1, "the first session's only chunk trains cold");
+        assert_eq!(tele.warm_hits(), 0);
+        assert_eq!(tele.warm_pool_size(), 1, "close must park the trained weights");
+
+        // A same-shape successor adopts the parked weights, so even its
+        // *first* chunk fine-tunes warm; its close re-parks them.
+        let id = manager.open(fs, 1, scfg.clone()).unwrap();
+        manager.push(id, &mix, &t).unwrap();
+        manager.close(id).unwrap();
+        let tele = manager.telemetry();
+        assert_eq!(tele.warm_hits(), 1, "the successor's first chunk must resume warm");
+        assert_eq!(tele.cold_fits(), 1);
+        assert_eq!(tele.warm_pool_size(), 1);
+
+        // A different-shape session (here: another sample rate) leaves
+        // the pool alone.
+        let id = manager.open(101.0, 1, scfg).unwrap();
+        manager.push(id, &mix, &t).unwrap();
+        manager.close(id).unwrap();
+        let tele = manager.telemetry();
+        assert_eq!(tele.cold_fits(), 2, "a different shape must not adopt pooled weights");
+        assert_eq!(tele.warm_pool_size(), 2, "each shape parks its own snapshots");
+
+        // The counters surface in both exporters.
+        let table = tele.to_string();
+        assert!(table.contains("warm"), "Display table must carry the warm column:\n{table}");
+        let prom = tele.prometheus();
+        assert!(prom.contains("dhf_warm_fits_total{shard=\"0\"} 1"));
+        assert!(prom.contains("dhf_cold_fits_total{shard=\"0\"} 2"));
+        assert!(prom.contains("dhf_warm_pool_size{shard=\"0\"} 2"));
+    }
+
     /// Shared oximetry fixture: a short desaturation recording plus the
     /// session configs driving it.
     fn oximetry_fixture() -> (dhf_synth::invivo::TfoRecording, StreamingConfig, OximetryConfig) {

@@ -16,8 +16,9 @@
 use crate::session::{SessionKind, SessionShared};
 use crate::telemetry::ShardCounters;
 use crate::CloseOutcome;
+use dhf_nn::WeightState;
 use dhf_oximetry::{OximetryError, Spo2Sample, StreamingOximeter};
-use dhf_stream::{StreamError, StreamingSeparator};
+use dhf_stream::{StreamError, StreamingConfig, StreamingSeparator};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::Sender;
@@ -70,6 +71,101 @@ impl Engine {
             Engine::Separation(sep) => sep.fft_plans_built(),
             Engine::Oximetry(ox) => ox.fft_plans_built(),
         }
+    }
+
+    /// Deep-prior fits the engine resumed warm (monotone over the
+    /// session's lifetime; zero unless its config enables warm starting).
+    fn warm_hits(&self) -> u64 {
+        match self {
+            Engine::Separation(sep) => sep.warm_hits(),
+            Engine::Oximetry(ox) => ox.warm_hits(),
+        }
+    }
+
+    /// Deep-prior fits the engine trained from scratch (monotone).
+    fn cold_fits(&self) -> u64 {
+        match self {
+            Engine::Separation(sep) => sep.cold_fits(),
+            Engine::Oximetry(ox) => ox.cold_fits(),
+        }
+    }
+}
+
+/// Per-shard pool of warm deep-prior weights captured from closed
+/// sessions, keyed by session shape. A new session of the same shape
+/// adopts a parked snapshot set at open, so its *first* chunk already
+/// fine-tunes instead of training from scratch — the cross-session
+/// analogue of the within-session warm carry.
+///
+/// Snapshot adoption is architecture-guarded downstream (a mismatched
+/// snapshot is ignored at fit time with a cold fallback), so pooling is a
+/// pure hint: a wrong match costs nothing but the missed shortcut.
+#[derive(Default)]
+pub(crate) struct WarmPool {
+    entries: Vec<WarmPoolEntry>,
+}
+
+/// Parked snapshot sets for one session shape. Keys are compared
+/// structurally (the pool is short — linear scan).
+struct WarmPoolEntry {
+    fs_bits: u64,
+    n_sources: usize,
+    cfg: StreamingConfig,
+    /// LIFO of captured per-source snapshot sets (most recently closed
+    /// session first — its weights are the freshest).
+    sets: Vec<Vec<(usize, WeightState)>>,
+}
+
+/// Parked snapshot sets per shape — bounds pool memory under session
+/// churn; the oldest sets are evicted first.
+const WARM_POOL_PER_SHAPE: usize = 4;
+
+impl WarmPool {
+    fn position(&self, fs: f64, n_sources: usize, cfg: &StreamingConfig) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.fs_bits == fs.to_bits() && e.n_sources == n_sources && &e.cfg == cfg)
+    }
+
+    /// Parks a closed session's snapshot set.
+    fn put(&mut self, sep: &StreamingSeparator, set: Vec<(usize, WeightState)>) {
+        let (fs, n) = (sep.sample_rate(), sep.n_sources());
+        let entry = match self.position(fs, n, sep.config()) {
+            Some(i) => &mut self.entries[i],
+            None => {
+                self.entries.push(WarmPoolEntry {
+                    fs_bits: fs.to_bits(),
+                    n_sources: n,
+                    cfg: sep.config().clone(),
+                    sets: Vec::new(),
+                });
+                self.entries.last_mut().expect("just pushed")
+            }
+        };
+        if entry.sets.len() == WARM_POOL_PER_SHAPE {
+            entry.sets.remove(0);
+        }
+        entry.sets.push(set);
+    }
+
+    /// Takes the freshest parked snapshot set matching the session shape.
+    fn take(&mut self, sep: &StreamingSeparator) -> Option<Vec<(usize, WeightState)>> {
+        let i = self.position(sep.sample_rate(), sep.n_sources(), sep.config())?;
+        let set = self.entries[i].sets.pop();
+        if self.entries[i].sets.is_empty() {
+            self.entries.remove(i);
+        }
+        set
+    }
+
+    /// Total parked snapshots across shapes (the telemetry gauge).
+    fn snapshots(&self) -> u64 {
+        self.entries.iter().flat_map(|e| e.sets.iter()).map(|s| s.len() as u64).sum()
+    }
+
+    /// Publishes the pool-size gauge.
+    fn publish(&self, counters: &ShardCounters) {
+        counters.warm_pool_size.store(self.snapshots(), Ordering::Relaxed);
     }
 }
 
@@ -151,6 +247,11 @@ struct WorkerSession {
     /// so the fleet gauge tracks live sessions instead of staying flat
     /// at zero until the first close.
     plans_booked: usize,
+    /// Warm fits already booked into the shard's `warm_hits` counter
+    /// (delta booking, same scheme as `plans_booked`).
+    warm_booked: u64,
+    /// Cold fits already booked into the shard's `cold_fits` counter.
+    cold_booked: u64,
 }
 
 /// Books any FFT plans the engine built since the last booking into the
@@ -163,11 +264,24 @@ fn book_plan_delta(ws: &mut WorkerSession, counters: &ShardCounters) {
         counters.plans_built.fetch_add(delta as u64, Ordering::Relaxed);
         ws.plans_booked = built;
     }
+    let warm = ws.engine.warm_hits();
+    let delta = warm.saturating_sub(ws.warm_booked);
+    if delta > 0 {
+        counters.warm_hits.fetch_add(delta, Ordering::Relaxed);
+        ws.warm_booked = warm;
+    }
+    let cold = ws.engine.cold_fits();
+    let delta = cold.saturating_sub(ws.cold_booked);
+    if delta > 0 {
+        counters.cold_fits.fetch_add(delta, Ordering::Relaxed);
+        ws.cold_booked = cold;
+    }
 }
 
 /// The worker run loop. Exits when `stop` is set and no commands remain.
 pub(crate) fn run_worker(shared: Arc<ShardShared>, counters: Arc<ShardCounters>) {
     let mut sessions: HashMap<u64, WorkerSession> = HashMap::new();
+    let mut warm_pool = WarmPool::default();
     loop {
         let (commands, mut batches, stop) = {
             let mut st = shared.state.lock().unwrap();
@@ -202,7 +316,19 @@ pub(crate) fn run_worker(shared: Arc<ShardShared>, counters: Arc<ShardCounters>)
         // per-session ordering is preserved without cross-checks.
         for cmd in commands {
             match cmd {
-                Command::Open { id, engine, shared } => {
+                Command::Open { id, mut engine, shared } => {
+                    // Seed a warm session from the pool: the freshest
+                    // snapshot set a same-shape closed session left
+                    // behind lets the first chunk fine-tune instead of
+                    // training cold.
+                    if let Engine::Separation(sep) = &mut engine {
+                        if sep.config().warm_start().is_some() {
+                            if let Some(set) = warm_pool.take(sep) {
+                                sep.import_warm_state(set);
+                                warm_pool.publish(&counters);
+                            }
+                        }
+                    }
                     let ws = WorkerSession {
                         engine,
                         shared,
@@ -211,6 +337,8 @@ pub(crate) fn run_worker(shared: Arc<ShardShared>, counters: Arc<ShardCounters>)
                         emitted: 0,
                         skipped: 0,
                         plans_booked: 0,
+                        warm_booked: 0,
+                        cold_booked: 0,
                     };
                     sessions.insert(id, ws);
                 }
@@ -218,6 +346,19 @@ pub(crate) fn run_worker(shared: Arc<ShardShared>, counters: Arc<ShardCounters>)
                     let outcome = match sessions.remove(&id) {
                         Some(mut ws) => {
                             let out = close_session(&mut ws, leftovers, &counters);
+                            // Park the session's trained weights for the
+                            // next same-shape session (healthy sessions
+                            // only — a failed stream's weights may track
+                            // a corrupt target).
+                            if !ws.failed {
+                                if let Engine::Separation(sep) = &ws.engine {
+                                    let set = sep.export_warm_state();
+                                    if !set.is_empty() {
+                                        warm_pool.put(sep, set);
+                                        warm_pool.publish(&counters);
+                                    }
+                                }
+                            }
                             // Drain before acking: a telemetry snapshot
                             // taken right after close() returns must see
                             // the spans the close just produced.

@@ -25,6 +25,13 @@ pub(crate) struct ShardCounters {
     pub(crate) dropped_samples: AtomicU64,
     pub(crate) spo2_updates: AtomicU64,
     pub(crate) plans_built: AtomicU64,
+    /// Deep-prior fits resumed from carried-over weights (warm starts).
+    pub(crate) warm_hits: AtomicU64,
+    /// Deep-prior fits trained from scratch.
+    pub(crate) cold_fits: AtomicU64,
+    /// Weight snapshots currently parked in this shard's warm pool,
+    /// awaiting a compatible new session.
+    pub(crate) warm_pool_size: AtomicU64,
     /// Nanoseconds since `t0` at which the worker last finished a packet
     /// (0 = never). Advanced with one relaxed `fetch_max` per packet;
     /// bounds the *active* window for throughput so idle tails (a
@@ -56,6 +63,9 @@ impl ShardCounters {
             dropped_samples: AtomicU64::new(0),
             spo2_updates: AtomicU64::new(0),
             plans_built: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
+            cold_fits: AtomicU64::new(0),
+            warm_pool_size: AtomicU64::new(0),
             last_activity_nanos: AtomicU64::new(0),
             queue_depth_hwm: HighWatermark::new(),
             batch_packets_hwm: HighWatermark::new(),
@@ -99,6 +109,9 @@ impl ShardCounters {
             dropped_samples: self.dropped_samples.load(Ordering::Relaxed),
             spo2_updates: self.spo2_updates.load(Ordering::Relaxed),
             plans_built: self.plans_built.load(Ordering::Relaxed),
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
+            cold_fits: self.cold_fits.load(Ordering::Relaxed),
+            warm_pool_size: self.warm_pool_size.load(Ordering::Relaxed),
             active_secs,
             samples_per_sec: if active_secs > 0.0 { samples_out as f64 / active_secs } else { 0.0 },
             queue_depth_hwm: self.queue_depth_hwm.get(),
@@ -229,6 +242,20 @@ pub struct ShardSnapshot {
     /// (and the SoA spectrogram workspace) built by its session's first
     /// chunk, so the gauge plateaus once sessions are warm.
     pub plans_built: u64,
+    /// Deep-prior fits this shard's engines resumed warm from a previous
+    /// chunk's (or a pooled predecessor session's) weights. Zero unless
+    /// sessions enable warm starting
+    /// ([`dhf_stream::StreamingConfig::with_warm_start`]).
+    pub warm_hits: u64,
+    /// Deep-prior fits this shard's engines trained from scratch (every
+    /// fit when warm starting is off; first chunks and discontinuity
+    /// fallbacks when it is on).
+    pub cold_fits: u64,
+    /// Weight snapshots currently parked in the shard's warm pool:
+    /// captured from closed warm sessions, waiting to seed the next
+    /// session opened with the same shape (sample rate, source count,
+    /// streaming configuration).
+    pub warm_pool_size: u64,
     /// Length of the shard's *active* window in seconds: manager start
     /// until the worker last finished a packet (0 while nothing has been
     /// processed), clamped to the snapshot's wall clock.
@@ -303,6 +330,21 @@ impl Telemetry {
     /// (booked per scheduling batch, not deferred to session close).
     pub fn plans_built(&self) -> u64 {
         self.shards.iter().map(|s| s.plans_built).sum()
+    }
+
+    /// Total deep-prior fits resumed warm across shards.
+    pub fn warm_hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.warm_hits).sum()
+    }
+
+    /// Total deep-prior fits trained from scratch across shards.
+    pub fn cold_fits(&self) -> u64 {
+        self.shards.iter().map(|s| s.cold_fits).sum()
+    }
+
+    /// Total weight snapshots parked in shard warm pools right now.
+    pub fn warm_pool_size(&self) -> u64 {
+        self.shards.iter().map(|s| s.warm_pool_size).sum()
     }
 
     /// All shards' SpO2 trend statistics merged into one fleet-wide view.
@@ -403,6 +445,12 @@ impl Telemetry {
             Counter("dhf_plans_built_total", "FFT plans built by session engines", |s| {
                 s.plans_built as f64
             }),
+            Counter("dhf_warm_fits_total", "Deep-prior fits resumed from warm weights", |s| {
+                s.warm_hits as f64
+            }),
+            Counter("dhf_cold_fits_total", "Deep-prior fits trained from scratch", |s| {
+                s.cold_fits as f64
+            }),
         ];
         for Counter(name, help, get) in counters {
             prom.help(name, help, "counter");
@@ -429,6 +477,9 @@ impl Telemetry {
             }),
             Gauge("dhf_batch_sessions_hwm", "Largest session batch one wakeup drained", |s| {
                 s.batch_sessions_hwm as f64
+            }),
+            Gauge("dhf_warm_pool_size", "Weight snapshots parked in the shard warm pool", |s| {
+                s.warm_pool_size as f64
             }),
         ];
         for Gauge(name, help, get) in gauges {
@@ -467,7 +518,7 @@ impl std::fmt::Display for Telemetry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{:>5} {:>8} {:>10} {:>12} {:>12} {:>9} {:>8} {:>8} {:>7} {:>7}",
+            "{:>5} {:>8} {:>10} {:>12} {:>12} {:>9} {:>8} {:>8} {:>7} {:>6} {:>6} {:>6} {:>7}",
             "shard",
             "sessions",
             "queue",
@@ -477,12 +528,16 @@ impl std::fmt::Display for Telemetry {
             "busy",
             "dropped",
             "plans",
+            "warm",
+            "cold",
+            "pool",
             "spo2",
         )?;
         for s in &self.shards {
             writeln!(
                 f,
-                "{:>5} {:>8} {:>10} {:>12.0} {:>12} {:>9} {:>8} {:>8} {:>7} {:>7}",
+                "{:>5} {:>8} {:>10} {:>12.0} {:>12} {:>9} {:>8} {:>8} {:>7} {:>6} {:>6} {:>6} \
+                 {:>7}",
                 s.shard,
                 s.open_sessions,
                 s.queue_depth_samples,
@@ -492,6 +547,9 @@ impl std::fmt::Display for Telemetry {
                 s.busy_rejections,
                 s.dropped_samples,
                 s.plans_built,
+                s.warm_hits,
+                s.cold_fits,
+                s.warm_pool_size,
                 s.spo2_updates,
             )?;
         }
@@ -502,11 +560,14 @@ impl std::fmt::Display for Telemetry {
         writeln!(
             f,
             "total: {:.0} samples/s over {:.2} s active ({:.2} s wall); {} plans; \
-             latency p50 {} / p95 {} / p99 {}",
+             {} warm / {} cold fits ({} pooled); latency p50 {} / p95 {} / p99 {}",
             self.samples_per_sec(),
             self.active_secs(),
             self.elapsed.as_secs_f64(),
             self.plans_built(),
+            self.warm_hits(),
+            self.cold_fits(),
+            self.warm_pool_size(),
             fmt_ms(self.latency_percentile(50.0)),
             fmt_ms(self.latency_percentile(95.0)),
             fmt_ms(self.latency_percentile(99.0)),

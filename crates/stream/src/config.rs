@@ -3,6 +3,7 @@
 use crate::hpss::HpssFrontConfig;
 use crate::StreamError;
 use dhf_core::DhfConfig;
+use dhf_nn::WarmFitParams;
 
 /// Chunking parameters of a streaming session.
 ///
@@ -62,6 +63,25 @@ impl StreamingConfig {
     /// The HPSS front-filter parameters, if the filter is enabled.
     pub fn hpss_front(&self) -> Option<&HpssFrontConfig> {
         self.hpss_front.as_ref()
+    }
+
+    /// Enables deep-prior warm starting with the default fine-tune budget:
+    /// from the second chunk on, each source's in-painting resumes the
+    /// previous chunk's trained weights with a bounded fine-tune instead of
+    /// refitting from scratch (see `dhf_core::inpaint`).
+    pub fn with_warm_start(self) -> Self {
+        self.with_warm_start_params(WarmFitParams::default())
+    }
+
+    /// Enables deep-prior warm starting with an explicit fine-tune budget.
+    pub fn with_warm_start_params(mut self, warm: WarmFitParams) -> Self {
+        self.dhf.inpaint.warm = Some(warm);
+        self
+    }
+
+    /// The warm fine-tune budget, if warm starting is enabled.
+    pub fn warm_start(&self) -> Option<&WarmFitParams> {
+        self.dhf.inpaint.warm.as_ref()
     }
 
     /// Samples per analysis chunk.

@@ -180,6 +180,16 @@ impl StreamingSeparator {
         &self.cfg
     }
 
+    /// Sample rate the session was opened with.
+    pub fn sample_rate(&self) -> f64 {
+        self.fs
+    }
+
+    /// Number of sources the session separates.
+    pub fn n_sources(&self) -> usize {
+        self.n_sources
+    }
+
     /// Total samples ingested so far.
     pub fn samples_ingested(&self) -> usize {
         self.ingested
@@ -194,6 +204,40 @@ impl StreamingSeparator {
     /// the first chunk of a steady stream (the plan-cache invariant).
     pub fn fft_plans_built(&self) -> usize {
         self.ctx.fft_plans_built()
+    }
+
+    /// Deep-prior fits resumed warm from a previous chunk's weights.
+    /// Always zero unless the configuration enables warm starting
+    /// ([`StreamingConfig::with_warm_start`]).
+    pub fn warm_hits(&self) -> u64 {
+        self.ctx.warm_hits()
+    }
+
+    /// Deep-prior fits trained from scratch (first chunk, or a cold
+    /// fallback after a track discontinuity changed the net architecture).
+    pub fn cold_fits(&self) -> u64 {
+        self.ctx.cold_fits()
+    }
+
+    /// Sources currently holding a resident trained net that the next
+    /// chunk can resume.
+    pub fn warm_resident(&self) -> usize {
+        self.ctx.warm_resident()
+    }
+
+    /// Snapshots every resident warm net as `(source index, weights)`
+    /// pairs — the hand-off format for serving runtimes that pool warm
+    /// state across recycled sessions.
+    pub fn export_warm_state(&self) -> Vec<(usize, dhf_nn::WeightState)> {
+        self.ctx.export_warm_state()
+    }
+
+    /// Seeds per-source warm state captured from a compatible earlier
+    /// session. Snapshots whose architecture does not match the nets this
+    /// session builds are ignored at fit time (cold fallback), never
+    /// adopted wrongly.
+    pub fn import_warm_state(&mut self, state: Vec<(usize, dhf_nn::WeightState)>) {
+        self.ctx.import_warm_state(state);
     }
 
     /// Rewinds the session to a fresh stream at position 0, discarding all
@@ -216,6 +260,10 @@ impl StreamingSeparator {
         self.chunk_index = 0;
         self.tail.clear();
         self.pending.clear();
+        // Warm weights belong to the stream that trained them; a new
+        // stream must cold-start so a reset session reproduces a fresh
+        // one bit for bit.
+        self.ctx.clear_warm_state();
     }
 
     /// Ingests `samples` plus each source's matching f0 values, returning
@@ -509,6 +557,88 @@ mod tests {
 
     fn fast_stream_cfg(chunk_len: usize, overlap: usize) -> StreamingConfig {
         StreamingConfig::new(chunk_len, overlap, DhfConfig::fast().with_harmonic_interp()).unwrap()
+    }
+
+    /// Deep-prior path (no harmonic-interp bypass) with warm starting on.
+    fn warm_stream_cfg(chunk_len: usize, overlap: usize) -> StreamingConfig {
+        StreamingConfig::new(chunk_len, overlap, DhfConfig::fast()).unwrap().with_warm_start()
+    }
+
+    #[test]
+    fn warm_start_resumes_weights_across_chunks() {
+        let fs = 100.0;
+        let n = 6600;
+        let (mix, _, _, tracks) = make_mix(fs, n);
+        let cfg = warm_stream_cfg(3000, 400);
+        assert!(cfg.warm_start().is_some());
+
+        let mut sep = StreamingSeparator::new(fs, 1, cfg.clone()).unwrap();
+        assert_eq!(sep.warm_hits() + sep.cold_fits(), 0);
+        let refs: [&[f64]; 1] = [&tracks[0]];
+        sep.push(&mix, &refs).unwrap();
+        // Two full chunks are complete here (the shrunken flush chunk may
+        // legitimately go cold — its geometry differs — so assert before).
+        assert_eq!(sep.cold_fits(), 1, "only the first chunk trains from scratch");
+        assert_eq!(sep.warm_hits(), 1, "the second chunk must resume the first's weights");
+        assert_eq!(sep.warm_resident(), 1);
+        sep.flush().unwrap();
+
+        // Warm sessions stay fully deterministic.
+        let tracks1 = tracks[..1].to_vec();
+        let (a, _) = separate_streamed(&mix, fs, &tracks1, &cfg).unwrap();
+        let (b, _) = separate_streamed(&mix, fs, &tracks1, &cfg).unwrap();
+        assert_eq!(a, b, "warm-started streaming must be bit-deterministic");
+    }
+
+    #[test]
+    fn reset_clears_warm_state_and_reproduces_a_fresh_session() {
+        let fs = 100.0;
+        let n = 6600;
+        let (mix, _, _, tracks) = make_mix(fs, n);
+        let cfg = warm_stream_cfg(3000, 400);
+        let tracks1 = tracks[..1].to_vec();
+        let (fresh, _) = separate_streamed(&mix, fs, &tracks1, &cfg).unwrap();
+
+        let mut sep = StreamingSeparator::new(fs, 1, cfg).unwrap();
+        let refs: [&[f64]; 1] = [&tracks1[0]];
+        sep.push(&mix, &refs).unwrap();
+        sep.flush().unwrap();
+        assert!(sep.warm_resident() > 0);
+        sep.reset();
+        assert_eq!(sep.warm_resident(), 0, "reset must drop warm weights with the stream");
+
+        let mut blocks = sep.push(&mix, &refs).unwrap();
+        if let Some(b) = sep.flush().unwrap().block {
+            blocks.push(b);
+        }
+        let mut reused = vec![Vec::new(); 1];
+        for b in blocks {
+            for (src, est) in b.sources.iter().enumerate() {
+                reused[src].extend_from_slice(est);
+            }
+        }
+        assert_eq!(reused, fresh, "warm state must not leak across reset");
+    }
+
+    #[test]
+    fn exported_warm_state_warms_a_fresh_session() {
+        let fs = 100.0;
+        let n = 3000; // exactly one chunk
+        let (mix, _, _, tracks) = make_mix(fs, n);
+        let cfg = warm_stream_cfg(3000, 400);
+        let refs: [&[f64]; 1] = [&tracks[0]];
+
+        let mut donor = StreamingSeparator::new(fs, 1, cfg.clone()).unwrap();
+        donor.push(&mix, &refs).unwrap();
+        assert_eq!(donor.cold_fits(), 1);
+        let state = donor.export_warm_state();
+        assert_eq!(state.len(), 1, "the trained net must be exportable");
+
+        let mut warmed = StreamingSeparator::new(fs, 1, cfg).unwrap();
+        warmed.import_warm_state(state);
+        warmed.push(&mix, &refs).unwrap();
+        assert_eq!(warmed.cold_fits(), 0, "the seeded snapshot must be adopted");
+        assert_eq!(warmed.warm_hits(), 1);
     }
 
     #[test]

@@ -5,8 +5,14 @@
 //! and [`Graph::backward`] a single reverse sweep. The graph is built once
 //! per network and re-evaluated every optimization step; leaf values (inputs
 //! and trainable parameters) can be replaced between runs.
+//!
+//! The graph is generic over its element [`Scalar`]: `Graph` (= `Graph<f32>`)
+//! is the production path, `Graph<f64>` the accuracy reference. No kernel
+//! widens silently — the masked-MSE reduction uses Neumaier-compensated
+//! summation in the working precision instead of an f64 accumulator.
 
 use crate::ops::{conv, harmonic, norm, pool};
+use crate::scalar::Scalar;
 use crate::Tensor;
 
 /// Handle to a node in a [`Graph`].
@@ -23,7 +29,10 @@ impl VarId {
 /// Operator attached to a graph node.
 ///
 /// Exposed for introspection (e.g. graph dumps in tests); construct nodes
-/// through the [`Graph`] builder methods, not by hand.
+/// through the [`Graph`] builder methods, not by hand. Scalar attributes
+/// (scale factors, slopes, epsilons) are stored as `f32` and converted to
+/// the graph's working precision at evaluation time — exact for both
+/// precisions since every `f32` widens losslessly.
 #[derive(Debug, Clone)]
 #[non_exhaustive]
 pub enum Op {
@@ -94,24 +103,29 @@ pub enum Op {
     Sum(VarId),
 }
 
-struct Node {
+struct Node<S: Scalar> {
     op: Op,
-    value: Tensor,
-    grad: Tensor,
-    aux: Vec<f32>,
+    value: Tensor<S>,
+    grad: Tensor<S>,
+    aux: Vec<S>,
     aux_idx: Vec<usize>,
     trainable: bool,
 }
 
 /// Reverse-mode autograd graph. See the [crate docs](crate) for an
 /// end-to-end training example.
-#[derive(Default)]
-pub struct Graph {
-    nodes: Vec<Node>,
+pub struct Graph<S: Scalar = f32> {
+    nodes: Vec<Node<S>>,
     params: Vec<VarId>,
 }
 
-impl std::fmt::Debug for Graph {
+impl<S: Scalar> Default for Graph<S> {
+    fn default() -> Self {
+        Graph { nodes: Vec::new(), params: Vec::new() }
+    }
+}
+
+impl<S: Scalar> std::fmt::Debug for Graph<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Graph")
             .field("nodes", &self.nodes.len())
@@ -120,7 +134,7 @@ impl std::fmt::Debug for Graph {
     }
 }
 
-impl Graph {
+impl<S: Scalar> Graph<S> {
     /// Creates an empty graph.
     pub fn new() -> Self {
         Graph::default()
@@ -137,12 +151,12 @@ impl Graph {
     }
 
     /// Registers a non-trainable leaf (network input, target, mask, …).
-    pub fn input(&mut self, value: Tensor) -> VarId {
+    pub fn input(&mut self, value: Tensor<S>) -> VarId {
         self.push_leaf(value, false)
     }
 
     /// Registers a trainable leaf; it will be visited by optimizers.
-    pub fn param(&mut self, value: Tensor) -> VarId {
+    pub fn param(&mut self, value: Tensor<S>) -> VarId {
         let id = self.push_leaf(value, true);
         self.params.push(id);
         id
@@ -159,12 +173,12 @@ impl Graph {
     }
 
     /// Current value of a node.
-    pub fn value(&self, id: VarId) -> &Tensor {
+    pub fn value(&self, id: VarId) -> &Tensor<S> {
         &self.nodes[id.0].value
     }
 
     /// Current gradient of a node (zeros before the first backward pass).
-    pub fn grad(&self, id: VarId) -> &Tensor {
+    pub fn grad(&self, id: VarId) -> &Tensor<S> {
         &self.nodes[id.0].grad
     }
 
@@ -173,7 +187,7 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `id` is not a leaf or the new shape differs.
-    pub fn set_value(&mut self, id: VarId, value: Tensor) {
+    pub fn set_value(&mut self, id: VarId, value: Tensor<S>) {
         let node = &mut self.nodes[id.0];
         assert!(matches!(node.op, Op::Leaf), "set_value only applies to leaves");
         assert_eq!(node.value.shape(), value.shape(), "set_value cannot change shape");
@@ -185,7 +199,7 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `id` is not a leaf.
-    pub fn leaf_value_mut(&mut self, id: VarId) -> &mut Tensor {
+    pub fn leaf_value_mut(&mut self, id: VarId) -> &mut Tensor<S> {
         let node = &mut self.nodes[id.0];
         assert!(matches!(node.op, Op::Leaf), "leaf_value_mut only applies to leaves");
         &mut node.value
@@ -196,7 +210,7 @@ impl Graph {
         &self.nodes[id.0].op
     }
 
-    fn push_leaf(&mut self, value: Tensor, trainable: bool) -> VarId {
+    fn push_leaf(&mut self, value: Tensor<S>, trainable: bool) -> VarId {
         let grad = Tensor::zeros(value.shape());
         self.nodes.push(Node {
             op: Op::Leaf,
@@ -453,7 +467,7 @@ impl Graph {
     pub fn backward(&mut self, loss: VarId) {
         assert_eq!(self.nodes[loss.0].value.numel(), 1, "backward seed must be scalar");
         self.zero_grads();
-        self.nodes[loss.0].grad.data_mut()[0] = 1.0;
+        self.nodes[loss.0].grad.data_mut()[0] = S::ONE;
         for i in (0..self.nodes.len()).rev() {
             self.backprop_at(i);
         }
@@ -461,7 +475,7 @@ impl Graph {
 
     /// Gradient of a trainable parameter, paired with mutable value access,
     /// for optimizer updates.
-    pub(crate) fn param_value_and_grad(&mut self, id: VarId) -> (&mut Tensor, &Tensor) {
+    pub(crate) fn param_value_and_grad(&mut self, id: VarId) -> (&mut Tensor<S>, &Tensor<S>) {
         let node = &mut self.nodes[id.0];
         debug_assert!(node.trainable, "not a trainable parameter");
         (&mut node.value, &node.grad)
@@ -470,7 +484,7 @@ impl Graph {
     fn eval_at(&mut self, i: usize) {
         let (before, rest) = self.nodes.split_at_mut(i);
         let node = &mut rest[0];
-        let v = |id: VarId| -> &Tensor {
+        let v = |id: VarId| -> &Tensor<S> {
             assert!(id.0 < i, "operator input must precede the node");
             &before[id.0].value
         };
@@ -501,6 +515,7 @@ impl Graph {
                 }
             }
             Op::Scale(a, s) => {
+                let s = S::from_f32(s);
                 for (o, &x) in node.value.data_mut().iter_mut().zip(v(a).data()) {
                     *o = x * s;
                 }
@@ -517,13 +532,14 @@ impl Graph {
                 }
             }
             Op::LeakyRelu(a, slope) => {
+                let slope = S::from_f32(slope);
                 for (o, &x) in node.value.data_mut().iter_mut().zip(v(a).data()) {
-                    *o = if x > 0.0 { x } else { slope * x };
+                    *o = if x > S::ZERO { x } else { slope * x };
                 }
             }
             Op::Sigmoid(a) => {
                 for (o, &x) in node.value.data_mut().iter_mut().zip(v(a).data()) {
-                    *o = 1.0 / (1.0 + (-x).exp());
+                    *o = S::ONE / (S::ONE + (-x).exp());
                 }
             }
             Op::Tanh(a) => {
@@ -560,16 +576,31 @@ impl Graph {
             }
             Op::MseMasked(pred, target, mask) => {
                 let (vp, vt, vm) = (v(pred), v(target), v(mask));
-                let mut num = 0.0f64;
-                let mut den = 0.0f64;
+                // Neumaier-compensated sum in the working precision — no
+                // silent f64 widening on the f32 path. The denominator is a
+                // sum of 0/1 mask weights and stays exact directly; only
+                // the numerator needs compensation. Gradients depend on the
+                // denominator alone, so this choice only affects the
+                // *reported* loss value.
+                let mut num = S::ZERO;
+                let mut comp = S::ZERO;
+                let mut den = S::ZERO;
                 for ((&p, &t), &m) in vp.data().iter().zip(vt.data()).zip(vm.data()) {
-                    let d = (p - t) as f64;
-                    num += m as f64 * d * d;
-                    den += m as f64;
+                    let d = p - t;
+                    let term = m * d * d;
+                    let sum = num + term;
+                    comp += if num.abs() >= term.abs() {
+                        (num - sum) + term
+                    } else {
+                        (term - sum) + num
+                    };
+                    num = sum;
+                    den += m;
                 }
+                let num = num + comp;
                 node.aux.clear();
-                node.aux.push(den as f32);
-                node.value.data_mut()[0] = if den > 0.0 { (num / den) as f32 } else { 0.0 };
+                node.aux.push(den);
+                node.value.data_mut()[0] = if den > S::ZERO { num / den } else { S::ZERO };
             }
             Op::Sum(a) => {
                 node.value.data_mut()[0] = v(a).sum();
@@ -601,24 +632,24 @@ impl Graph {
         match node.op {
             Op::Leaf => {}
             Op::Add(a, b) => {
-                acc!(a, |_v: &Tensor, g: &mut Tensor| {
+                acc!(a, |_v: &Tensor<S>, g: &mut Tensor<S>| {
                     for (gi, &u) in g.data_mut().iter_mut().zip(go.data()) {
                         *gi += u;
                     }
                 });
-                acc!(b, |_v: &Tensor, g: &mut Tensor| {
+                acc!(b, |_v: &Tensor<S>, g: &mut Tensor<S>| {
                     for (gi, &u) in g.data_mut().iter_mut().zip(go.data()) {
                         *gi += u;
                     }
                 });
             }
             Op::Sub(a, b) => {
-                acc!(a, |_v: &Tensor, g: &mut Tensor| {
+                acc!(a, |_v: &Tensor<S>, g: &mut Tensor<S>| {
                     for (gi, &u) in g.data_mut().iter_mut().zip(go.data()) {
                         *gi += u;
                     }
                 });
-                acc!(b, |_v: &Tensor, g: &mut Tensor| {
+                acc!(b, |_v: &Tensor<S>, g: &mut Tensor<S>| {
                     for (gi, &u) in g.data_mut().iter_mut().zip(go.data()) {
                         *gi -= u;
                     }
@@ -626,21 +657,22 @@ impl Graph {
             }
             Op::Mul(a, b) => {
                 if a == b {
-                    acc!(a, |v: &Tensor, g: &mut Tensor| {
+                    let two = S::from_f32(2.0);
+                    acc!(a, |v: &Tensor<S>, g: &mut Tensor<S>| {
                         for ((gi, &u), &x) in g.data_mut().iter_mut().zip(go.data()).zip(v.data()) {
-                            *gi += 2.0 * u * x;
+                            *gi += two * u * x;
                         }
                     });
                 } else {
                     let vb = before[b.0].value.clone();
-                    acc!(a, |_v: &Tensor, g: &mut Tensor| {
+                    acc!(a, |_v: &Tensor<S>, g: &mut Tensor<S>| {
                         for ((gi, &u), &y) in g.data_mut().iter_mut().zip(go.data()).zip(vb.data())
                         {
                             *gi += u * y;
                         }
                     });
                     let va = before[a.0].value.clone();
-                    acc!(b, |_v: &Tensor, g: &mut Tensor| {
+                    acc!(b, |_v: &Tensor<S>, g: &mut Tensor<S>| {
                         for ((gi, &u), &x) in g.data_mut().iter_mut().zip(go.data()).zip(va.data())
                         {
                             *gi += u * x;
@@ -649,7 +681,8 @@ impl Graph {
                 }
             }
             Op::Scale(a, s) => {
-                acc!(a, |_v: &Tensor, g: &mut Tensor| {
+                let s = S::from_f32(s);
+                acc!(a, |_v: &Tensor<S>, g: &mut Tensor<S>| {
                     for (gi, &u) in g.data_mut().iter_mut().zip(go.data()) {
                         *gi += u * s;
                     }
@@ -660,14 +693,14 @@ impl Graph {
                     let s = node.value.shape();
                     (s[0], s[1] * s[2])
                 };
-                acc!(x, |_v: &Tensor, g: &mut Tensor| {
+                acc!(x, |_v: &Tensor<S>, g: &mut Tensor<S>| {
                     for (gi, &u) in g.data_mut().iter_mut().zip(go.data()) {
                         *gi += u;
                     }
                 });
-                acc!(b, |_v: &Tensor, g: &mut Tensor| {
+                acc!(b, |_v: &Tensor<S>, g: &mut Tensor<S>| {
                     for ci in 0..c {
-                        let mut acc = 0.0;
+                        let mut acc = S::ZERO;
                         for j in 0..rest_len {
                             acc += go.data()[ci * rest_len + j];
                         }
@@ -676,25 +709,26 @@ impl Graph {
                 });
             }
             Op::LeakyRelu(a, slope) => {
-                acc!(a, |v: &Tensor, g: &mut Tensor| {
+                let slope = S::from_f32(slope);
+                acc!(a, |v: &Tensor<S>, g: &mut Tensor<S>| {
                     for ((gi, &u), &x) in g.data_mut().iter_mut().zip(go.data()).zip(v.data()) {
-                        *gi += if x > 0.0 { u } else { slope * u };
+                        *gi += if x > S::ZERO { u } else { slope * u };
                     }
                 });
             }
             Op::Sigmoid(a) => {
                 let y = &node.value;
-                acc!(a, |_v: &Tensor, g: &mut Tensor| {
+                acc!(a, |_v: &Tensor<S>, g: &mut Tensor<S>| {
                     for ((gi, &u), &yo) in g.data_mut().iter_mut().zip(go.data()).zip(y.data()) {
-                        *gi += u * yo * (1.0 - yo);
+                        *gi += u * yo * (S::ONE - yo);
                     }
                 });
             }
             Op::Tanh(a) => {
                 let y = &node.value;
-                acc!(a, |_v: &Tensor, g: &mut Tensor| {
+                acc!(a, |_v: &Tensor<S>, g: &mut Tensor<S>| {
                     for ((gi, &u), &yo) in g.data_mut().iter_mut().zip(go.data()).zip(y.data()) {
-                        *gi += u * (1.0 - yo * yo);
+                        *gi += u * (S::ONE - yo * yo);
                     }
                 });
             }
@@ -715,34 +749,34 @@ impl Graph {
                 );
             }
             Op::AvgPoolTime(x, factor) => {
-                acc!(x, |_v: &Tensor, g: &mut Tensor| {
+                acc!(x, |_v: &Tensor<S>, g: &mut Tensor<S>| {
                     pool::avg_pool_time_backward(go, factor, g);
                 });
             }
             Op::MaxPoolFreq(x, _factor) => {
                 let argmax = &node.aux_idx;
-                acc!(x, |_v: &Tensor, g: &mut Tensor| {
+                acc!(x, |_v: &Tensor<S>, g: &mut Tensor<S>| {
                     pool::max_pool_freq_backward(go, argmax, g);
                 });
             }
             Op::UpsampleTime(x, factor) => {
-                acc!(x, |_v: &Tensor, g: &mut Tensor| {
+                acc!(x, |_v: &Tensor<S>, g: &mut Tensor<S>| {
                     pool::upsample_time_backward(go, factor, g);
                 });
             }
             Op::UpsampleFreq(x, factor) => {
-                acc!(x, |_v: &Tensor, g: &mut Tensor| {
+                acc!(x, |_v: &Tensor<S>, g: &mut Tensor<S>| {
                     pool::upsample_freq_backward(go, factor, g);
                 });
             }
             Op::Concat(a, b) => {
                 let na = before[a.0].value.numel();
-                acc!(a, |_v: &Tensor, g: &mut Tensor| {
+                acc!(a, |_v: &Tensor<S>, g: &mut Tensor<S>| {
                     for (gi, &u) in g.data_mut().iter_mut().zip(&go.data()[..na]) {
                         *gi += u;
                     }
                 });
-                acc!(b, |_v: &Tensor, g: &mut Tensor| {
+                acc!(b, |_v: &Tensor<S>, g: &mut Tensor<S>| {
                     for (gi, &u) in g.data_mut().iter_mut().zip(&go.data()[na..]) {
                         *gi += u;
                     }
@@ -773,19 +807,19 @@ impl Graph {
             }
             Op::MseMasked(pred, target, mask) => {
                 let den = node.aux[0];
-                if den <= 0.0 {
+                if den <= S::ZERO {
                     return;
                 }
-                let scale = 2.0 * go.data()[0] / den;
+                let scale = S::from_f32(2.0) * go.data()[0] / den;
                 let vt = before[target.0].value.clone();
                 let vm = before[mask.0].value.clone();
-                acc!(pred, |v: &Tensor, g: &mut Tensor| {
+                acc!(pred, |v: &Tensor<S>, g: &mut Tensor<S>| {
                     for (i, gi) in g.data_mut().iter_mut().enumerate() {
                         *gi += scale * vm.data()[i] * (v.data()[i] - vt.data()[i]);
                     }
                 });
                 let vp = before[pred.0].value.clone();
-                acc!(target, |v: &Tensor, g: &mut Tensor| {
+                acc!(target, |v: &Tensor<S>, g: &mut Tensor<S>| {
                     for (i, gi) in g.data_mut().iter_mut().enumerate() {
                         *gi -= scale * vm.data()[i] * (vp.data()[i] - v.data()[i]);
                     }
@@ -793,7 +827,7 @@ impl Graph {
             }
             Op::Sum(a) => {
                 let u = go.data()[0];
-                acc!(a, |_v: &Tensor, g: &mut Tensor| {
+                acc!(a, |_v: &Tensor<S>, g: &mut Tensor<S>| {
                     for gi in g.data_mut().iter_mut() {
                         *gi += u;
                     }
@@ -808,7 +842,7 @@ impl Graph {
 /// # Panics
 ///
 /// Panics if `a == b`.
-fn pair_mut(nodes: &mut [Node], a: usize, b: usize) -> (&mut Node, &mut Node) {
+fn pair_mut<S: Scalar>(nodes: &mut [Node<S>], a: usize, b: usize) -> (&mut Node<S>, &mut Node<S>) {
     assert_ne!(a, b, "pair_mut requires distinct indices");
     if a < b {
         let (lo, hi) = nodes.split_at_mut(b);
@@ -891,7 +925,7 @@ mod tests {
 
     #[test]
     fn elementwise_values() {
-        let mut g = Graph::new();
+        let mut g: Graph = Graph::new();
         let a = g.input(Tensor::from_vec(&[3], vec![1.0, -2.0, 3.0]));
         let b = g.input(Tensor::from_vec(&[3], vec![4.0, 5.0, -6.0]));
         let s = g.add(a, b);
@@ -906,7 +940,7 @@ mod tests {
 
     #[test]
     fn activations_forward() {
-        let mut g = Graph::new();
+        let mut g: Graph = Graph::new();
         let x = g.input(Tensor::from_vec(&[2], vec![1.0, -1.0]));
         let r = g.leaky_relu(x, 0.1);
         let s = g.sigmoid(x);
@@ -918,7 +952,7 @@ mod tests {
 
     #[test]
     fn gradcheck_elementwise_chain() {
-        let mut g = Graph::new();
+        let mut g: Graph = Graph::new();
         let a = rand_leaf(&mut g, &[2, 3, 4], 1, true);
         let b = rand_leaf(&mut g, &[2, 3, 4], 2, false);
         let m = g.mul(a, b);
@@ -930,7 +964,7 @@ mod tests {
 
     #[test]
     fn gradcheck_mul_self() {
-        let mut g = Graph::new();
+        let mut g: Graph = Graph::new();
         let a = rand_leaf(&mut g, &[5], 3, true);
         let sq = g.mul(a, a);
         let loss = g.sum(sq);
@@ -939,7 +973,7 @@ mod tests {
 
     #[test]
     fn gradcheck_sigmoid_tanh() {
-        let mut g = Graph::new();
+        let mut g: Graph = Graph::new();
         let a = rand_leaf(&mut g, &[6], 4, true);
         let s = g.sigmoid(a);
         let t = g.tanh(s);
@@ -949,7 +983,7 @@ mod tests {
 
     #[test]
     fn gradcheck_conv_and_bias() {
-        let mut g = Graph::new();
+        let mut g: Graph = Graph::new();
         let x = rand_leaf(&mut g, &[2, 4, 5], 5, true);
         let w = rand_leaf(&mut g, &[3, 2, 3, 3], 6, true);
         let b = rand_leaf(&mut g, &[3], 7, true);
@@ -964,7 +998,7 @@ mod tests {
 
     #[test]
     fn gradcheck_harmonic_conv() {
-        let mut g = Graph::new();
+        let mut g: Graph = Graph::new();
         let x = rand_leaf(&mut g, &[1, 8, 6], 8, true);
         let w = rand_leaf(&mut g, &[2, 1, 3, 3], 9, true);
         let y = g.harmonic_conv(x, w, 1, 2);
@@ -975,7 +1009,7 @@ mod tests {
 
     #[test]
     fn gradcheck_pool_and_upsample() {
-        let mut g = Graph::new();
+        let mut g: Graph = Graph::new();
         let x = rand_leaf(&mut g, &[2, 4, 8], 10, true);
         let p = g.avg_pool_time(x, 2);
         let u = g.upsample_time(p, 2);
@@ -985,7 +1019,7 @@ mod tests {
 
     #[test]
     fn gradcheck_max_pool_freq() {
-        let mut g = Graph::new();
+        let mut g: Graph = Graph::new();
         let x = rand_leaf(&mut g, &[1, 4, 3], 11, true);
         let p = g.max_pool_freq(x, 2);
         let u = g.upsample_freq(p, 2);
@@ -995,7 +1029,7 @@ mod tests {
 
     #[test]
     fn gradcheck_concat() {
-        let mut g = Graph::new();
+        let mut g: Graph = Graph::new();
         let a = rand_leaf(&mut g, &[1, 3, 4], 12, true);
         let b = rand_leaf(&mut g, &[2, 3, 4], 13, true);
         let c = g.concat(a, b);
@@ -1007,7 +1041,7 @@ mod tests {
 
     #[test]
     fn gradcheck_instance_norm() {
-        let mut g = Graph::new();
+        let mut g: Graph = Graph::new();
         let x = rand_leaf(&mut g, &[2, 3, 4], 14, true);
         let gamma = g.param(Tensor::from_vec(&[2], vec![1.2, 0.8]));
         let beta = g.param(Tensor::from_vec(&[2], vec![0.1, -0.1]));
@@ -1021,7 +1055,7 @@ mod tests {
 
     #[test]
     fn gradcheck_mse_masked() {
-        let mut g = Graph::new();
+        let mut g: Graph = Graph::new();
         let p = rand_leaf(&mut g, &[2, 3, 4], 15, true);
         let t = rand_leaf(&mut g, &[2, 3, 4], 16, false);
         let mask_data: Vec<f32> = (0..24).map(|i| if i % 3 == 0 { 1.0 } else { 0.0 }).collect();
@@ -1032,7 +1066,7 @@ mod tests {
 
     #[test]
     fn mse_masked_ignores_masked_out_regions() {
-        let mut g = Graph::new();
+        let mut g: Graph = Graph::new();
         let p = g.input(Tensor::from_vec(&[4], vec![1.0, 2.0, 3.0, 4.0]));
         let t = g.input(Tensor::from_vec(&[4], vec![1.0, 0.0, 3.0, 0.0]));
         let m = g.input(Tensor::from_vec(&[4], vec![1.0, 0.0, 1.0, 0.0]));
@@ -1041,8 +1075,55 @@ mod tests {
     }
 
     #[test]
+    fn mse_masked_matches_f64_reference_within_budget() {
+        // The compensated f32 reduction must track an exact f64 evaluation
+        // of the same inputs to near machine precision even over many cells
+        // of wildly varying magnitude.
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 1 << 14;
+        let pred: Tensor<f32> = Tensor::rand_normal(&[n], 1.0, &mut rng);
+        let target: Tensor<f32> = Tensor::rand_normal(&[n], 1.0, &mut rng);
+        let mask_data: Vec<f32> = (0..n).map(|i| if i % 4 == 0 { 0.0 } else { 1.0 }).collect();
+
+        let mut g: Graph = Graph::new();
+        let p = g.input(pred.clone());
+        let t = g.input(target.clone());
+        let m = g.input(Tensor::from_vec(&[n], mask_data.clone()));
+        let loss = g.mse_masked(p, t, m);
+        let got = g.value(loss).data()[0] as f64;
+
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for ((&p, &t), &m) in pred.data().iter().zip(target.data()).zip(&mask_data) {
+            let d = (p - t) as f64;
+            num += m as f64 * d * d;
+            den += m as f64;
+        }
+        let want = num / den;
+        assert!(
+            (got - want).abs() <= 1e-6 * want.abs(),
+            "compensated f32 loss {got} vs f64 reference {want}"
+        );
+    }
+
+    #[test]
+    fn f64_graph_runs_the_same_operator_set() {
+        let mut g: Graph<f64> = Graph::new();
+        let x = g.input(Tensor::from_vec(&[1, 2, 2], vec![1.0, -2.0, 3.0, -4.0]));
+        let w = g.param(Tensor::from_vec(&[1, 1, 1, 1], vec![0.5]));
+        let y = g.conv2d(x, w, 1, 1);
+        let r = g.leaky_relu(y, 0.1);
+        let s = g.sigmoid(r);
+        let loss = g.sum(s);
+        g.forward();
+        g.backward(loss);
+        assert!(g.value(loss).data()[0].is_finite());
+        assert!(g.grad(w).data()[0].abs() > 0.0);
+    }
+
+    #[test]
     fn forward_reflects_new_leaf_values() {
-        let mut g = Graph::new();
+        let mut g: Graph = Graph::new();
         let a = g.input(Tensor::scalar(1.0));
         let b = g.input(Tensor::scalar(2.0));
         let s = g.add(a, b);
@@ -1055,14 +1136,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot change shape")]
     fn set_value_rejects_shape_change() {
-        let mut g = Graph::new();
+        let mut g: Graph = Graph::new();
         let a = g.input(Tensor::scalar(1.0));
         g.set_value(a, Tensor::zeros(&[2]));
     }
 
     #[test]
     fn param_count_sums_trainables() {
-        let mut g = Graph::new();
+        let mut g: Graph = Graph::new();
         let _x = g.input(Tensor::zeros(&[100]));
         let _w = g.param(Tensor::zeros(&[3, 2, 3, 3]));
         let _b = g.param(Tensor::zeros(&[3]));

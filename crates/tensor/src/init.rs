@@ -1,5 +1,10 @@
 //! Weight initialization schemes.
+//!
+//! All bounds and random draws are computed in `f32` regardless of the
+//! tensor precision (see [`Tensor::rand_uniform`]), so an f32 and an f64
+//! network built from the same seed start from identical weights.
 
+use crate::scalar::Scalar;
 use crate::Tensor;
 use rand::Rng;
 
@@ -10,7 +15,7 @@ use rand::Rng;
 /// # Panics
 ///
 /// Panics if the shape is not rank 4.
-pub fn kaiming_uniform<R: Rng>(shape: &[usize], rng: &mut R) -> Tensor {
+pub fn kaiming_uniform<S: Scalar, R: Rng>(shape: &[usize], rng: &mut R) -> Tensor<S> {
     assert_eq!(shape.len(), 4, "kaiming_uniform expects a conv weight shape");
     let fan_in = (shape[1] * shape[2] * shape[3]) as f32;
     let bound = (6.0 / fan_in).sqrt();
@@ -19,13 +24,13 @@ pub fn kaiming_uniform<R: Rng>(shape: &[usize], rng: &mut R) -> Tensor {
 
 /// Small-variance normal initialization, used for the deep prior's random
 /// input code `z` (the paper follows Ulyanov et al. and feeds noise).
-pub fn noise_input<R: Rng>(shape: &[usize], std: f32, rng: &mut R) -> Tensor {
+pub fn noise_input<S: Scalar, R: Rng>(shape: &[usize], std: f32, rng: &mut R) -> Tensor<S> {
     Tensor::rand_normal(shape, std, rng)
 }
 
 /// Per-channel affine parameters for instance norm: `gamma = 1`, `beta = 0`.
-pub fn norm_affine(channels: usize) -> (Tensor, Tensor) {
-    (Tensor::filled(&[channels], 1.0), Tensor::zeros(&[channels]))
+pub fn norm_affine<S: Scalar>(channels: usize) -> (Tensor<S>, Tensor<S>) {
+    (Tensor::filled(&[channels], S::ONE), Tensor::zeros(&[channels]))
 }
 
 #[cfg(test)]
@@ -37,7 +42,7 @@ mod tests {
     #[test]
     fn kaiming_bound_scales_with_fan_in() {
         let mut rng = StdRng::seed_from_u64(1);
-        let w = kaiming_uniform(&[8, 4, 3, 3], &mut rng);
+        let w: Tensor = kaiming_uniform(&[8, 4, 3, 3], &mut rng);
         let bound = (6.0f32 / (4.0 * 9.0)).sqrt();
         assert!(w.data().iter().all(|&v| v.abs() <= bound));
         // Not degenerate: some mass near the bound.
@@ -47,7 +52,7 @@ mod tests {
     #[test]
     fn noise_input_has_requested_std() {
         let mut rng = StdRng::seed_from_u64(2);
-        let z = noise_input(&[1, 32, 32], 0.1, &mut rng);
+        let z: Tensor = noise_input(&[1, 32, 32], 0.1, &mut rng);
         let mean = z.mean();
         let var = z.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / z.numel() as f32;
         assert!((var.sqrt() - 0.1).abs() < 0.01);
@@ -55,7 +60,7 @@ mod tests {
 
     #[test]
     fn norm_affine_defaults() {
-        let (g, b) = norm_affine(3);
+        let (g, b) = norm_affine::<f32>(3);
         assert_eq!(g.data(), &[1.0, 1.0, 1.0]);
         assert_eq!(b.data(), &[0.0, 0.0, 0.0]);
     }

@@ -1,4 +1,4 @@
-//! Minimal f32 tensor library with reverse-mode automatic differentiation,
+//! Minimal tensor library with reverse-mode automatic differentiation,
 //! purpose-built for the DHF deep prior.
 //!
 //! The published system trains a small U-Net on a *single* masked
@@ -8,7 +8,12 @@
 //! bins, Eqs. 1/2/8), so this crate implements exactly the operator set the
 //! network needs:
 //!
-//! * [`Tensor`] — dense row-major f32 array with shape metadata.
+//! * [`Scalar`] — the element abstraction: every structure defaults to the
+//!   production `f32` path; the `f64` instantiation is the accuracy
+//!   reference used to measure the f32 error budget. There is no silent
+//!   f64 widening inside the f32 kernels (reductions that need extra
+//!   headroom use compensated summation in the working precision).
+//! * [`Tensor`] — dense row-major array with shape metadata.
 //! * [`Graph`] — a define-once/run-many autograd arena: insertion order is
 //!   execution order, [`Graph::forward`] re-evaluates the whole graph (new
 //!   leaf values included), [`Graph::backward`] fills gradients.
@@ -25,7 +30,7 @@
 //! ```
 //! use dhf_tensor::{Graph, Tensor, optim::Adam};
 //!
-//! let mut g = Graph::new();
+//! let mut g: Graph = Graph::new();
 //! let x = g.input(Tensor::filled(&[1, 4, 4], 1.0));
 //! let w = g.param(Tensor::filled(&[1, 1, 3, 3], 0.0));
 //! let y = g.conv2d(x, w, 1, 1);
@@ -47,6 +52,7 @@
 #![warn(missing_docs)]
 
 mod graph;
+mod scalar;
 mod tensor;
 
 pub mod init;
@@ -54,6 +60,7 @@ pub mod ops;
 pub mod optim;
 
 pub use graph::{Graph, Op, VarId};
+pub use scalar::Scalar;
 pub use tensor::Tensor;
 
 /// Errors produced when constructing or combining tensors.

@@ -4,6 +4,7 @@
 //! output `[out_ch, H, W]`. Kernel extents must be odd so the padding that
 //! keeps spatial size is well defined.
 
+use crate::scalar::Scalar;
 use crate::Tensor;
 
 /// Validates shapes and returns `(cin, h, w, cout, kh, kw)`.
@@ -11,7 +12,10 @@ use crate::Tensor;
 /// # Panics
 ///
 /// Panics on rank or extent mismatches, or even kernel extents.
-pub fn check_shapes(x: &Tensor, w: &Tensor) -> (usize, usize, usize, usize, usize, usize) {
+pub fn check_shapes<S: Scalar>(
+    x: &Tensor<S>,
+    w: &Tensor<S>,
+) -> (usize, usize, usize, usize, usize, usize) {
     assert_eq!(x.shape().len(), 3, "conv2d input must be [C,H,W], got {:?}", x.shape());
     assert_eq!(w.shape().len(), 4, "conv2d weight must be [Cout,Cin,KH,KW], got {:?}", w.shape());
     let (cin, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2]);
@@ -22,7 +26,13 @@ pub fn check_shapes(x: &Tensor, w: &Tensor) -> (usize, usize, usize, usize, usiz
 }
 
 /// Forward convolution. `out` must be pre-shaped to `[cout, H, W]`.
-pub fn forward(x: &Tensor, w: &Tensor, dil_h: usize, dil_w: usize, out: &mut Tensor) {
+pub fn forward<S: Scalar>(
+    x: &Tensor<S>,
+    w: &Tensor<S>,
+    dil_h: usize,
+    dil_w: usize,
+    out: &mut Tensor<S>,
+) {
     let (cin, h, wd, cout, kh, kw) = check_shapes(x, w);
     debug_assert_eq!(out.shape(), &[cout, h, wd]);
     let pad_h = (kh / 2) * dil_h;
@@ -30,7 +40,7 @@ pub fn forward(x: &Tensor, w: &Tensor, dil_h: usize, dil_w: usize, out: &mut Ten
     let xd = x.data();
     let wdat = w.data();
     let od = out.data_mut();
-    od.iter_mut().for_each(|v| *v = 0.0);
+    od.iter_mut().for_each(|v| *v = S::ZERO);
 
     for co in 0..cout {
         for ci in 0..cin {
@@ -42,7 +52,7 @@ pub fn forward(x: &Tensor, w: &Tensor, dil_h: usize, dil_w: usize, out: &mut Ten
                 let row_off = ki * dil_h;
                 for kj in 0..kw {
                     let wv = wdat[wbase + ki * kw + kj];
-                    if wv == 0.0 {
+                    if wv == S::ZERO {
                         continue;
                     }
                     let col_off = kj * dil_w;
@@ -69,14 +79,14 @@ pub fn forward(x: &Tensor, w: &Tensor, dil_h: usize, dil_w: usize, out: &mut Ten
 /// Backward pass: accumulates `∂L/∂x` into `grad_x` and `∂L/∂w` into
 /// `grad_w` given upstream `grad_out`.
 #[allow(clippy::too_many_arguments)]
-pub fn backward(
-    x: &Tensor,
-    w: &Tensor,
-    grad_out: &Tensor,
+pub fn backward<S: Scalar>(
+    x: &Tensor<S>,
+    w: &Tensor<S>,
+    grad_out: &Tensor<S>,
     dil_h: usize,
     dil_w: usize,
-    grad_x: &mut Tensor,
-    grad_w: &mut Tensor,
+    grad_x: &mut Tensor<S>,
+    grad_w: &mut Tensor<S>,
 ) {
     let (cin, h, wd, cout, kh, kw) = check_shapes(x, w);
     debug_assert_eq!(grad_out.shape(), &[cout, h, wd]);
@@ -101,7 +111,7 @@ pub fn backward(
                     let ow_lo = pad_w.saturating_sub(col_off);
                     let ow_hi = (wd + pad_w).saturating_sub(col_off).min(wd);
                     let wv = wdat[wbase + ki * kw + kj];
-                    let mut gw_acc = 0.0f32;
+                    let mut gw_acc = S::ZERO;
                     for oh in oh_lo..oh_hi {
                         let ih = oh + row_off - pad_h;
                         let orow = (co * h + oh) * wd;
@@ -207,7 +217,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "channel mismatch")]
     fn mismatched_channels_panic() {
-        let x = Tensor::zeros(&[2, 3, 3]);
+        let x: Tensor = Tensor::zeros(&[2, 3, 3]);
         let w = Tensor::zeros(&[1, 3, 3, 3]);
         let mut out = Tensor::zeros(&[1, 3, 3]);
         forward(&x, &w, 1, 1, &mut out);
@@ -216,7 +226,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "odd")]
     fn even_kernel_panics() {
-        let x = Tensor::zeros(&[1, 3, 3]);
+        let x: Tensor = Tensor::zeros(&[1, 3, 3]);
         let w = Tensor::zeros(&[1, 1, 2, 2]);
         let mut out = Tensor::zeros(&[1, 3, 3]);
         forward(&x, &w, 1, 1, &mut out);

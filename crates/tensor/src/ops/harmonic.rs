@@ -18,6 +18,7 @@
 //! index × time taps), output `[out_ch, F, T]`. Out-of-range harmonic rows
 //! contribute zero (zero padding in frequency); time is zero padded too.
 
+use crate::scalar::Scalar;
 use crate::Tensor;
 
 /// Validates shapes, returning `(cin, f, t, cout, harmonics, kt)`.
@@ -26,9 +27,9 @@ use crate::Tensor;
 ///
 /// Panics on rank/extent mismatches, an even time-kernel extent, or a zero
 /// anchor.
-pub fn check_shapes(
-    x: &Tensor,
-    w: &Tensor,
+pub fn check_shapes<S: Scalar>(
+    x: &Tensor<S>,
+    w: &Tensor<S>,
     anchor: usize,
 ) -> (usize, usize, usize, usize, usize, usize) {
     assert_eq!(x.shape().len(), 3, "harmonic conv input must be [C,F,T]");
@@ -51,14 +52,20 @@ pub fn harmonic_row(k: usize, f: usize, anchor: usize, bins: usize) -> Option<us
 }
 
 /// Forward harmonic convolution. `out` must be pre-shaped to `[cout, F, T]`.
-pub fn forward(x: &Tensor, w: &Tensor, anchor: usize, dil_t: usize, out: &mut Tensor) {
+pub fn forward<S: Scalar>(
+    x: &Tensor<S>,
+    w: &Tensor<S>,
+    anchor: usize,
+    dil_t: usize,
+    out: &mut Tensor<S>,
+) {
     let (cin, f, t, cout, harm, kt) = check_shapes(x, w, anchor);
     debug_assert_eq!(out.shape(), &[cout, f, t]);
     let half = kt / 2;
     let xd = x.data();
     let wd = w.data();
     let od = out.data_mut();
-    od.iter_mut().for_each(|v| *v = 0.0);
+    od.iter_mut().for_each(|v| *v = S::ZERO);
 
     for co in 0..cout {
         for ci in 0..cin {
@@ -70,7 +77,7 @@ pub fn forward(x: &Tensor, w: &Tensor, anchor: usize, dil_t: usize, out: &mut Te
                     let irow = (ci * f + row) * t;
                     for j in 0..kt {
                         let wv = wd[wbase + (k - 1) * kt + j];
-                        if wv == 0.0 {
+                        if wv == S::ZERO {
                             continue;
                         }
                         // Input time: ot + (j - half)·dil_t, zero padded.
@@ -97,14 +104,14 @@ fn time_bounds(shift: isize, t: usize) -> (usize, usize) {
 
 /// Backward pass: accumulates input and weight gradients.
 #[allow(clippy::too_many_arguments)]
-pub fn backward(
-    x: &Tensor,
-    w: &Tensor,
-    grad_out: &Tensor,
+pub fn backward<S: Scalar>(
+    x: &Tensor<S>,
+    w: &Tensor<S>,
+    grad_out: &Tensor<S>,
     anchor: usize,
     dil_t: usize,
-    grad_x: &mut Tensor,
-    grad_w: &mut Tensor,
+    grad_x: &mut Tensor<S>,
+    grad_w: &mut Tensor<S>,
 ) {
     let (cin, f, t, cout, harm, kt) = check_shapes(x, w, anchor);
     debug_assert_eq!(grad_out.shape(), &[cout, f, t]);
@@ -128,7 +135,7 @@ pub fn backward(
                         let wv = wd[widx];
                         let shift = (j as isize - half as isize) * dil_t as isize;
                         let (ot_lo, ot_hi) = time_bounds(shift, t);
-                        let mut gw_acc = 0.0f32;
+                        let mut gw_acc = S::ZERO;
                         for ot in ot_lo..ot_hi {
                             let it = (ot as isize + shift) as usize;
                             let g = god[orow + ot];
@@ -244,7 +251,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "anchor")]
     fn zero_anchor_panics() {
-        let x = Tensor::zeros(&[1, 4, 4]);
+        let x: Tensor = Tensor::zeros(&[1, 4, 4]);
         let w = Tensor::zeros(&[1, 1, 2, 1]);
         let mut out = Tensor::zeros(&[1, 4, 4]);
         forward(&x, &w, 0, 1, &mut out);

@@ -5,6 +5,7 @@
 //! normalization used between the deep prior's convolution blocks (batch
 //! size is always one, so batch norm degenerates to instance norm anyway).
 
+use crate::scalar::Scalar;
 use crate::Tensor;
 
 /// Forward instance norm.
@@ -15,29 +16,30 @@ use crate::Tensor;
 /// # Panics
 ///
 /// Panics unless `x` is `[C,F,T]` and `gamma`/`beta` are `[C]`.
-pub fn forward(
-    x: &Tensor,
-    gamma: &Tensor,
-    beta: &Tensor,
+pub fn forward<S: Scalar>(
+    x: &Tensor<S>,
+    gamma: &Tensor<S>,
+    beta: &Tensor<S>,
     eps: f32,
-    out: &mut Tensor,
-    aux: &mut Vec<f32>,
+    out: &mut Tensor<S>,
+    aux: &mut Vec<S>,
 ) {
     assert_eq!(x.shape().len(), 3, "instance norm input must be [C,F,T]");
     let (c, f, t) = (x.shape()[0], x.shape()[1], x.shape()[2]);
     assert_eq!(gamma.shape(), &[c], "gamma must be [C]");
     assert_eq!(beta.shape(), &[c], "beta must be [C]");
-    let area = (f * t) as f32;
+    let eps = S::from_f32(eps);
+    let area = S::from_usize(f * t);
     let xd = x.data();
     let od = out.data_mut();
     aux.clear();
-    aux.resize(2 * c, 0.0);
+    aux.resize(2 * c, S::ZERO);
     for ci in 0..c {
         let base = ci * f * t;
         let slice = &xd[base..base + f * t];
-        let mean = slice.iter().sum::<f32>() / area;
-        let var = slice.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / area;
-        let inv_std = 1.0 / (var + eps).sqrt();
+        let mean = slice.iter().copied().sum::<S>() / area;
+        let var = slice.iter().map(|&v| (v - mean) * (v - mean)).sum::<S>() / area;
+        let inv_std = S::ONE / (var + eps).sqrt();
         aux[2 * ci] = mean;
         aux[2 * ci + 1] = inv_std;
         let g = gamma.data()[ci];
@@ -50,17 +52,17 @@ pub fn forward(
 
 /// Backward instance norm: accumulates gradients for `x`, `gamma`, `beta`.
 #[allow(clippy::too_many_arguments)]
-pub fn backward(
-    x: &Tensor,
-    gamma: &Tensor,
-    grad_out: &Tensor,
-    aux: &[f32],
-    grad_x: &mut Tensor,
-    grad_gamma: &mut Tensor,
-    grad_beta: &mut Tensor,
+pub fn backward<S: Scalar>(
+    x: &Tensor<S>,
+    gamma: &Tensor<S>,
+    grad_out: &Tensor<S>,
+    aux: &[S],
+    grad_x: &mut Tensor<S>,
+    grad_gamma: &mut Tensor<S>,
+    grad_beta: &mut Tensor<S>,
 ) {
     let (c, f, t) = (x.shape()[0], x.shape()[1], x.shape()[2]);
-    let area = (f * t) as f32;
+    let area = S::from_usize(f * t);
     let xd = x.data();
     let god = grad_out.data();
     let gxd = grad_x.data_mut();
@@ -70,8 +72,8 @@ pub fn backward(
         let inv_std = aux[2 * ci + 1];
         let g = gamma.data()[ci];
         // Accumulate the three reductions.
-        let mut sum_dy = 0.0f32;
-        let mut sum_dy_xhat = 0.0f32;
+        let mut sum_dy = S::ZERO;
+        let mut sum_dy_xhat = S::ZERO;
         for i in 0..f * t {
             let xhat = (xd[base + i] - mean) * inv_std;
             let dy = god[base + i];

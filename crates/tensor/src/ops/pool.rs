@@ -5,6 +5,7 @@
 //! folding"). Frequency max-pooling is provided solely for the Figure-3
 //! ablation that reproduces the Zhang et al. baseline behaviour.
 
+use crate::scalar::Scalar;
 use crate::Tensor;
 
 /// Average pooling along the time (last) axis by an integer factor.
@@ -12,7 +13,7 @@ use crate::Tensor;
 /// # Panics
 ///
 /// Panics unless the input is `[C,F,T]` with `T` divisible by `factor`.
-pub fn avg_pool_time_forward(x: &Tensor, factor: usize, out: &mut Tensor) {
+pub fn avg_pool_time_forward<S: Scalar>(x: &Tensor<S>, factor: usize, out: &mut Tensor<S>) {
     assert_eq!(x.shape().len(), 3, "pool input must be [C,F,T]");
     assert!(factor >= 1);
     let (c, f, t) = (x.shape()[0], x.shape()[1], x.shape()[2]);
@@ -21,12 +22,12 @@ pub fn avg_pool_time_forward(x: &Tensor, factor: usize, out: &mut Tensor) {
     debug_assert_eq!(out.shape(), &[c, f, to]);
     let xd = x.data();
     let od = out.data_mut();
-    let inv = 1.0 / factor as f32;
+    let inv = S::ONE / S::from_usize(factor);
     for cf in 0..c * f {
         let ibase = cf * t;
         let obase = cf * to;
         for ot in 0..to {
-            let mut acc = 0.0;
+            let mut acc = S::ZERO;
             for j in 0..factor {
                 acc += xd[ibase + ot * factor + j];
             }
@@ -37,13 +38,17 @@ pub fn avg_pool_time_forward(x: &Tensor, factor: usize, out: &mut Tensor) {
 
 /// Backward of [`avg_pool_time_forward`]: spreads each upstream gradient
 /// uniformly over its window.
-pub fn avg_pool_time_backward(grad_out: &Tensor, factor: usize, grad_x: &mut Tensor) {
+pub fn avg_pool_time_backward<S: Scalar>(
+    grad_out: &Tensor<S>,
+    factor: usize,
+    grad_x: &mut Tensor<S>,
+) {
     let (c, f, to) = (grad_out.shape()[0], grad_out.shape()[1], grad_out.shape()[2]);
     let t = to * factor;
     debug_assert_eq!(grad_x.shape(), &[c, f, t]);
     let god = grad_out.data();
     let gxd = grad_x.data_mut();
-    let inv = 1.0 / factor as f32;
+    let inv = S::ONE / S::from_usize(factor);
     for cf in 0..c * f {
         let ibase = cf * t;
         let obase = cf * to;
@@ -62,7 +67,12 @@ pub fn avg_pool_time_backward(grad_out: &Tensor, factor: usize, grad_x: &mut Ten
 /// # Panics
 ///
 /// Panics unless the input is `[C,F,T]` with `F` divisible by `factor`.
-pub fn max_pool_freq_forward(x: &Tensor, factor: usize, out: &mut Tensor, argmax: &mut Vec<usize>) {
+pub fn max_pool_freq_forward<S: Scalar>(
+    x: &Tensor<S>,
+    factor: usize,
+    out: &mut Tensor<S>,
+    argmax: &mut Vec<usize>,
+) {
     assert_eq!(x.shape().len(), 3, "pool input must be [C,F,T]");
     assert!(factor >= 1);
     let (c, f, t) = (x.shape()[0], x.shape()[1], x.shape()[2]);
@@ -76,7 +86,7 @@ pub fn max_pool_freq_forward(x: &Tensor, factor: usize, out: &mut Tensor, argmax
     for ci in 0..c {
         for ofq in 0..fo {
             for ti in 0..t {
-                let mut best = f32::NEG_INFINITY;
+                let mut best = S::neg_infinity();
                 let mut best_idx = 0usize;
                 for j in 0..factor {
                     let idx = (ci * f + ofq * factor + j) * t + ti;
@@ -94,7 +104,11 @@ pub fn max_pool_freq_forward(x: &Tensor, factor: usize, out: &mut Tensor, argmax
 }
 
 /// Backward of [`max_pool_freq_forward`]: routes gradients to the argmax.
-pub fn max_pool_freq_backward(grad_out: &Tensor, argmax: &[usize], grad_x: &mut Tensor) {
+pub fn max_pool_freq_backward<S: Scalar>(
+    grad_out: &Tensor<S>,
+    argmax: &[usize],
+    grad_x: &mut Tensor<S>,
+) {
     let god = grad_out.data();
     let gxd = grad_x.data_mut();
     for (o, &src) in argmax.iter().enumerate() {
@@ -103,7 +117,7 @@ pub fn max_pool_freq_backward(grad_out: &Tensor, argmax: &[usize], grad_x: &mut 
 }
 
 /// Nearest-neighbour upsampling along time by an integer factor.
-pub fn upsample_time_forward(x: &Tensor, factor: usize, out: &mut Tensor) {
+pub fn upsample_time_forward<S: Scalar>(x: &Tensor<S>, factor: usize, out: &mut Tensor<S>) {
     let (c, f, t) = (x.shape()[0], x.shape()[1], x.shape()[2]);
     debug_assert_eq!(out.shape(), &[c, f, t * factor]);
     let xd = x.data();
@@ -119,14 +133,18 @@ pub fn upsample_time_forward(x: &Tensor, factor: usize, out: &mut Tensor) {
 }
 
 /// Backward of [`upsample_time_forward`]: sums gradients over each window.
-pub fn upsample_time_backward(grad_out: &Tensor, factor: usize, grad_x: &mut Tensor) {
+pub fn upsample_time_backward<S: Scalar>(
+    grad_out: &Tensor<S>,
+    factor: usize,
+    grad_x: &mut Tensor<S>,
+) {
     let (c, f, t) = (grad_x.shape()[0], grad_x.shape()[1], grad_x.shape()[2]);
     debug_assert_eq!(grad_out.shape(), &[c, f, t * factor]);
     let god = grad_out.data();
     let gxd = grad_x.data_mut();
     for cf in 0..c * f {
         for ti in 0..t {
-            let mut acc = 0.0;
+            let mut acc = S::ZERO;
             for j in 0..factor {
                 acc += god[cf * t * factor + ti * factor + j];
             }
@@ -136,7 +154,7 @@ pub fn upsample_time_backward(grad_out: &Tensor, factor: usize, grad_x: &mut Ten
 }
 
 /// Nearest-neighbour upsampling along frequency by an integer factor.
-pub fn upsample_freq_forward(x: &Tensor, factor: usize, out: &mut Tensor) {
+pub fn upsample_freq_forward<S: Scalar>(x: &Tensor<S>, factor: usize, out: &mut Tensor<S>) {
     let (c, f, t) = (x.shape()[0], x.shape()[1], x.shape()[2]);
     debug_assert_eq!(out.shape(), &[c, f * factor, t]);
     let xd = x.data();
@@ -153,7 +171,11 @@ pub fn upsample_freq_forward(x: &Tensor, factor: usize, out: &mut Tensor) {
 }
 
 /// Backward of [`upsample_freq_forward`].
-pub fn upsample_freq_backward(grad_out: &Tensor, factor: usize, grad_x: &mut Tensor) {
+pub fn upsample_freq_backward<S: Scalar>(
+    grad_out: &Tensor<S>,
+    factor: usize,
+    grad_x: &mut Tensor<S>,
+) {
     let (c, f, t) = (grad_x.shape()[0], grad_x.shape()[1], grad_x.shape()[2]);
     debug_assert_eq!(grad_out.shape(), &[c, f * factor, t]);
     let god = grad_out.data();
@@ -241,7 +263,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "divisible")]
     fn avg_pool_rejects_indivisible_time() {
-        let x = Tensor::zeros(&[1, 1, 5]);
+        let x: Tensor = Tensor::zeros(&[1, 1, 5]);
         let mut out = Tensor::zeros(&[1, 1, 2]);
         avg_pool_time_forward(&x, 2, &mut out);
     }

@@ -1,15 +1,20 @@
 //! First-order optimizers over a [`Graph`]'s trainable parameters.
 
+use crate::scalar::Scalar;
 use crate::{Graph, VarId};
 
 /// Adam (Kingma & Ba) with bias correction — the optimizer used for all
 /// deep-prior in-painting runs.
 ///
+/// Like the graph, the optimizer is generic over the working precision:
+/// hyperparameters are supplied as `f32` (lossless to widen) while the
+/// moment buffers and update arithmetic run entirely in `S`.
+///
 /// # Example
 ///
 /// ```
 /// use dhf_tensor::{Graph, Tensor, optim::Adam};
-/// let mut g = Graph::new();
+/// let mut g: Graph = Graph::new();
 /// let w = g.param(Tensor::scalar(5.0));
 /// let t = g.input(Tensor::scalar(1.0));
 /// let m = g.input(Tensor::scalar(1.0));
@@ -23,42 +28,56 @@ use crate::{Graph, VarId};
 /// assert!((g.value(w).data()[0] - 1.0).abs() < 1e-2);
 /// ```
 #[derive(Debug, Clone)]
-pub struct Adam {
-    lr: f32,
-    beta1: f32,
-    beta2: f32,
-    eps: f32,
+pub struct Adam<S: Scalar = f32> {
+    lr: S,
+    beta1: S,
+    beta2: S,
+    eps: S,
     t: u64,
-    state: Vec<MomentPair>,
+    state: Vec<MomentPair<S>>,
 }
 
 #[derive(Debug, Clone)]
-struct MomentPair {
+struct MomentPair<S: Scalar> {
     id: VarId,
-    m: Vec<f32>,
-    v: Vec<f32>,
+    m: Vec<S>,
+    v: Vec<S>,
 }
 
-impl Adam {
+impl<S: Scalar> Adam<S> {
     /// Creates Adam with the given learning rate and the standard defaults
     /// `β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, state: Vec::new() }
+        Adam {
+            lr: S::from_f32(lr),
+            beta1: S::from_f32(0.9),
+            beta2: S::from_f32(0.999),
+            eps: S::from_f32(1e-8),
+            t: 0,
+            state: Vec::new(),
+        }
     }
 
     /// Creates Adam with explicit moment coefficients.
     pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
-        Adam { lr, beta1, beta2, eps: 1e-8, t: 0, state: Vec::new() }
+        Adam {
+            lr: S::from_f32(lr),
+            beta1: S::from_f32(beta1),
+            beta2: S::from_f32(beta2),
+            eps: S::from_f32(1e-8),
+            t: 0,
+            state: Vec::new(),
+        }
     }
 
     /// Current learning rate.
     pub fn learning_rate(&self) -> f32 {
-        self.lr
+        self.lr.to_f32()
     }
 
     /// Replaces the learning rate (e.g. for decay schedules).
     pub fn set_learning_rate(&mut self, lr: f32) {
-        self.lr = lr;
+        self.lr = S::from_f32(lr);
     }
 
     /// Applies one update using the gradients currently stored in `graph`.
@@ -66,24 +85,24 @@ impl Adam {
     /// Moment buffers are allocated lazily on first use and keyed by
     /// parameter handle, so the same optimizer must be reused with the same
     /// graph.
-    pub fn step(&mut self, graph: &mut Graph) {
+    pub fn step(&mut self, graph: &mut Graph<S>) {
         if self.state.is_empty() {
             for &id in graph.params() {
                 let n = graph.value(id).numel();
-                self.state.push(MomentPair { id, m: vec![0.0; n], v: vec![0.0; n] });
+                self.state.push(MomentPair { id, m: vec![S::ZERO; n], v: vec![S::ZERO; n] });
             }
         }
         self.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let bc1 = S::ONE - self.beta1.powi(self.t as i32);
+        let bc2 = S::ONE - self.beta2.powi(self.t as i32);
         for pair in &mut self.state {
             let (value, grad) = graph.param_value_and_grad(pair.id);
             let vd = value.data_mut();
             let gd = grad.data();
             for i in 0..vd.len() {
                 let g = gd[i];
-                pair.m[i] = self.beta1 * pair.m[i] + (1.0 - self.beta1) * g;
-                pair.v[i] = self.beta2 * pair.v[i] + (1.0 - self.beta2) * g * g;
+                pair.m[i] = self.beta1 * pair.m[i] + (S::ONE - self.beta1) * g;
+                pair.v[i] = self.beta2 * pair.v[i] + (S::ONE - self.beta2) * g * g;
                 let mhat = pair.m[i] / bc1;
                 let vhat = pair.v[i] / bc2;
                 vd[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
@@ -94,29 +113,29 @@ impl Adam {
 
 /// Plain stochastic gradient descent with optional momentum.
 #[derive(Debug, Clone)]
-pub struct Sgd {
-    lr: f32,
-    momentum: f32,
-    velocity: Vec<(VarId, Vec<f32>)>,
+pub struct Sgd<S: Scalar = f32> {
+    lr: S,
+    momentum: S,
+    velocity: Vec<(VarId, Vec<S>)>,
 }
 
-impl Sgd {
+impl<S: Scalar> Sgd<S> {
     /// Creates SGD without momentum.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+        Sgd { lr: S::from_f32(lr), momentum: S::ZERO, velocity: Vec::new() }
     }
 
     /// Creates SGD with classical momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, velocity: Vec::new() }
+        Sgd { lr: S::from_f32(lr), momentum: S::from_f32(momentum), velocity: Vec::new() }
     }
 
     /// Applies one update using the gradients currently stored in `graph`.
-    pub fn step(&mut self, graph: &mut Graph) {
+    pub fn step(&mut self, graph: &mut Graph<S>) {
         if self.velocity.is_empty() {
             for &id in graph.params() {
                 let n = graph.value(id).numel();
-                self.velocity.push((id, vec![0.0; n]));
+                self.velocity.push((id, vec![S::ZERO; n]));
             }
         }
         for (id, vel) in &mut self.velocity {
@@ -138,7 +157,7 @@ mod tests {
 
     /// Loss (w - 3)² through the graph; both optimizers must drive w → 3.
     fn quadratic_graph() -> (Graph, VarId, VarId) {
-        let mut g = Graph::new();
+        let mut g: Graph = Graph::new();
         let w = g.param(Tensor::scalar(0.0));
         let target = g.input(Tensor::scalar(3.0));
         let mask = g.input(Tensor::scalar(1.0));
@@ -171,8 +190,24 @@ mod tests {
     }
 
     #[test]
+    fn adam_converges_in_f64_too() {
+        let mut g: Graph<f64> = Graph::new();
+        let w = g.param(Tensor::scalar(0.0));
+        let target = g.input(Tensor::scalar(3.0));
+        let mask = g.input(Tensor::scalar(1.0));
+        let loss = g.mse_masked(w, target, mask);
+        let mut opt: Adam<f64> = Adam::new(0.2);
+        for _ in 0..200 {
+            g.forward();
+            g.backward(loss);
+            opt.step(&mut g);
+        }
+        assert!((g.value(w).data()[0] - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
     fn adam_handles_multiple_parameters() {
-        let mut g = Graph::new();
+        let mut g: Graph = Graph::new();
         let a = g.param(Tensor::from_vec(&[2], vec![0.0, 0.0]));
         let b = g.param(Tensor::from_vec(&[2], vec![5.0, 5.0]));
         let s = g.add(a, b);
@@ -191,7 +226,7 @@ mod tests {
 
     #[test]
     fn learning_rate_can_be_decayed() {
-        let mut opt = Adam::new(0.1);
+        let mut opt: Adam = Adam::new(0.1);
         assert_eq!(opt.learning_rate(), 0.1);
         opt.set_learning_rate(0.01);
         assert_eq!(opt.learning_rate(), 0.01);
